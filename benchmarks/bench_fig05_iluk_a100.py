@@ -1,0 +1,72 @@
+"""Figures 5a/5b: SPCG-ILU(K) speedups on the A100 model.
+
+Paper headline: gmean per-iteration 1.65×, 80.38 % accelerated;
+end-to-end gmean 3.73×, iterations unchanged for 91.61 %.  K is selected
+per matrix as the best-converging candidate for the *baseline* and
+reused for SPCG (Section 3.3); see conftest for the size-scaled
+candidate set.
+
+The wall-clock benchmark times the ILU(K) preconditioner application,
+baseline vs sparsified.
+"""
+
+import numpy as np
+import pytest
+from conftest import ILUK_CANDIDATES, emit
+
+from repro.core import wavefront_aware_sparsify
+from repro.datasets import load
+from repro.harness import render_histogram, render_scatter, render_table
+
+REPRESENTATIVE = "model_reduction_900_s100"
+
+
+def test_fig05_report(iluk_suite, benchmark):
+    agg = benchmark(iluk_suite.aggregates)
+    pi = iluk_suite.per_iteration_speedups()
+    hist = render_histogram(
+        pi, title="Figure 5a — SPCG-ILU(K) per-iteration speedup "
+                  "distribution (A100 model)")
+    nnz, e2e = iluk_suite.end_to_end_points()
+    scatter = render_scatter(
+        nnz, np.clip(e2e, 0, 5), title="Figure 5b — SPCG-ILU(K) "
+        "end-to-end speedup vs nnz (A100 model, clipped to [0,5])",
+        xlabel="nnz", ylabel="speedup", logx=True)
+    summary = render_table(
+        ["metric", "paper", "measured"],
+        [["gmean per-iteration speedup", "1.65×",
+          f"{agg.gmean_per_iteration_speedup:.2f}×"],
+         ["% matrices accelerated", "80.38%",
+          f"{agg.percent_accelerated:.1f}%"],
+         ["gmean end-to-end speedup", "3.73×",
+          f"{agg.gmean_end_to_end_speedup:.2f}×"],
+         ["% iterations unchanged", "91.61%",
+          f"{agg.percent_iterations_unchanged:.1f}%"],
+         ["K candidates", "{10,20,30,40}", str(ILUK_CANDIDATES)]],
+        title="SPCG-ILU(K) on A100 — paper vs measured")
+    emit("fig05_iluk_a100.txt",
+         summary + "\n\n" + hist + "\n\n" + scatter)
+
+    assert agg.gmean_per_iteration_speedup > 1.0
+
+
+@pytest.fixture(scope="module")
+def iluk_pair():
+    from repro.precond import ILUKPreconditioner
+
+    a = load(REPRESENTATIVE)
+    decision = wavefront_aware_sparsify(a)
+    base = ILUKPreconditioner(a, k=3, raise_on_zero_pivot=False)
+    spcg = ILUKPreconditioner(decision.a_hat, k=3,
+                              raise_on_zero_pivot=False)
+    return base, spcg, np.ones(a.n_rows)
+
+
+def test_fig05_bench_baseline_apply(benchmark, iluk_pair):
+    base, _, r = iluk_pair
+    benchmark(base.apply, r)
+
+
+def test_fig05_bench_spcg_apply(benchmark, iluk_pair):
+    _, spcg, r = iluk_pair
+    benchmark(spcg.apply, r)

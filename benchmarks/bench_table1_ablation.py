@@ -1,0 +1,82 @@
+"""Table 1: per-iteration speedup of SPCG over PCG — ratio ablation.
+
+1a (ILU(0)) and 1b (ILU(K)): for each fixed ratio {1, 5, 10} %, for the
+wavefront-aware selection (SPCG) and for the oracle, the geometric-mean
+per-iteration speedup and the percentage of matrices accelerated.
+
+Paper values:
+    1a: 0.98 / 1.11 / 1.22 / 1.23 (SPCG) / 1.39 (oracle);
+        accelerated 56.14 / 71.93 / 68.42 / 69.16 / 78.07 %.
+    1b: 1.47 / 1.62 / 1.65 / 1.65 / 1.78;
+        accelerated 88.57 / 92.86 / 85.71 / 80.38 / 97.14 %.
+
+The wall-clock benchmark times the oracle selector on one matrix.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core import oracle_select
+from repro.datasets import load
+from repro.harness import render_table
+from repro.machine import A100
+from repro.precond import ILU0Preconditioner
+from repro.util import gmean
+
+
+def _table(suite, paper_row_gmean, paper_row_acc, title, fname):
+    tab = suite.ratio_table()
+    agg = suite.aggregates()
+    oracle = np.array([r.oracle_per_iteration_speedup
+                       for r in suite.results])
+    oracle = oracle[np.isfinite(oracle)]
+    spcg = suite.per_iteration_speedups()
+    gm_row = ["Geometric Mean"]
+    acc_row = ["% Accelerated"]
+    for t in (1.0, 5.0, 10.0):
+        gm_row.append(f"{tab['gmean'][t]:.2f}×")
+        acc_row.append(f"{tab['percent_accelerated'][t]:.1f}%")
+    gm_row += [f"{gmean(spcg):.2f}×", f"{gmean(oracle):.2f}×"]
+    acc_row += [f"{agg.percent_accelerated:.1f}%",
+                f"{100 * float(np.mean(oracle > 1.0)):.1f}%"]
+    text = render_table(
+        ["Statistic/Setting", "1%", "5%", "10%", "SPCG", "Oracle"],
+        [gm_row, acc_row,
+         ["paper gmean"] + paper_row_gmean,
+         ["paper % acc."] + paper_row_acc],
+        title=title)
+    text += (f"\nSPCG matches the oracle ratio on "
+             f"{agg.percent_oracle_match:.1f}% of matrices "
+             f"(paper: 56.14%).")
+    emit(fname, text)
+    return tab, agg
+
+
+def test_table1a_ilu0(ilu0_suite, benchmark):
+    benchmark(ilu0_suite.ratio_table)
+    tab, agg = _table(
+        ilu0_suite,
+        ["0.98×", "1.11×", "1.22×", "1.23×", "1.39×"],
+        ["56.14%", "71.93%", "68.42%", "69.16%", "78.07%"],
+        "Table 1a — per-iteration speedup statistics of SPCG-ILU(0), A100",
+        "table1a_ilu0.txt")
+    # Shape assertions: monotone-ish in ratio; oracle bounds SPCG.
+    assert tab["gmean"][10.0] >= tab["gmean"][1.0]
+    assert agg.gmean_oracle_speedup >= agg.gmean_per_iteration_speedup - 1e-9
+
+
+def test_table1b_iluk(iluk_suite, benchmark):
+    benchmark(iluk_suite.ratio_table)
+    tab, agg = _table(
+        iluk_suite,
+        ["1.47×", "1.62×", "1.65×", "1.65×", "1.78×"],
+        ["88.57%", "92.86%", "85.71%", "80.38%", "97.14%"],
+        "Table 1b — per-iteration speedup statistics of SPCG-ILU(K), A100",
+        "table1b_iluk.txt")
+    assert agg.gmean_oracle_speedup >= agg.gmean_per_iteration_speedup - 1e-9
+
+
+def test_table1_bench_oracle_select(benchmark):
+    a = load("thermal_900_s100")
+    benchmark(oracle_select, a, A100,
+              lambda m: ILU0Preconditioner(m, raise_on_zero_pivot=False))

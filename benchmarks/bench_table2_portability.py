@@ -1,0 +1,81 @@
+"""Table 2 + Figures 8a–8c: cross-architecture portability.
+
+Table 2 — per-iteration gmean speedup and % accelerated for
+SPCG-ILU(0)/ILU(K) on the A100 and V100 models (paper: 1.23/1.22 and
+1.65/1.71 — both GPUs benefit consistently).
+Figures 8a/8b — V100 speedup histograms; 8c — the EPYC CPU histogram
+(paper: gmean 1.24×, 91.59 % of matrices benefiting).
+
+The wall-clock benchmark times one preconditioner application as the
+device-independent kernel behind all three columns.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.datasets import load
+from repro.harness import render_histogram, render_table
+from repro.precond import ILU0Preconditioner
+from repro.util import gmean
+
+
+def _stats(suite):
+    v = suite.per_iteration_speedups()
+    return gmean(v), 100.0 * float(np.mean(v > 1.0))
+
+
+def test_table2_report(ilu0_suite, iluk_suite, ilu0_v100_suite,
+                       iluk_v100_suite, benchmark):
+    benchmark(ilu0_v100_suite.per_iteration_speedups)
+    g0a, p0a = _stats(ilu0_suite)
+    gka, pka = _stats(iluk_suite)
+    g0v, p0v = _stats(ilu0_v100_suite)
+    gkv, pkv = _stats(iluk_v100_suite)
+    text = render_table(
+        ["Statistic/Setting", "ILU(0) A100", "ILU(0) V100",
+         "ILU(K) A100", "ILU(K) V100"],
+        [["Geometric Mean", f"{g0a:.2f}×", f"{g0v:.2f}×",
+          f"{gka:.2f}×", f"{gkv:.2f}×"],
+         ["% Accelerated", f"{p0a:.1f}%", f"{p0v:.1f}%",
+          f"{pka:.1f}%", f"{pkv:.1f}%"],
+         ["paper gmean", "1.23×", "1.22×", "1.65×", "1.71×"],
+         ["paper % acc.", "69.16%", "83.18%", "80.38%", "82.25%"]],
+        title="Table 2 — per-iteration speedup on A100 and V100")
+    note = ("\nNote: with CI-sized matrices every wavefront kernel sits on "
+            "the latency floor, so the two GPU models translate the same "
+            "schedule into nearly identical speedups; the paper's "
+            "second-decimal A100/V100 asymmetries require memory-roof-"
+            "sized workloads (see EXPERIMENTS.md).")
+    emit("table2_portability.txt", text + note)
+
+    # Cross-architecture consistency: both GPUs benefit.
+    assert g0a > 1.0 and g0v > 1.0
+    assert gka > 1.0 and gkv > 1.0
+
+
+def test_fig08_histograms(ilu0_v100_suite, iluk_v100_suite,
+                          ilu0_cpu_suite, benchmark):
+    benchmark(ilu0_cpu_suite.per_iteration_speedups)
+    h_a = render_histogram(
+        ilu0_v100_suite.per_iteration_speedups(),
+        title="Figure 8a — SPCG-ILU(0) per-iteration speedups on V100")
+    h_b = render_histogram(
+        iluk_v100_suite.per_iteration_speedups(),
+        title="Figure 8b — SPCG-ILU(K) per-iteration speedups on V100")
+    cpu = ilu0_cpu_suite.per_iteration_speedups()
+    h_c = render_histogram(
+        cpu, title="Figure 8c — SPCG-ILU(0) per-iteration speedups on "
+                   "EPYC 7413 (paper: gmean 1.24×, 91.59% benefiting)")
+    g_cpu = gmean(cpu)
+    h_c += (f"\nCPU gmean {g_cpu:.2f}× "
+            f"({100 * float(np.mean(cpu >= 1.0)):.1f}% not slowed down)")
+    emit("fig08_portability_histograms.txt",
+         h_a + "\n\n" + h_b + "\n\n" + h_c)
+
+    assert g_cpu > 1.0  # the CPU benefits from wavefront reduction too
+
+
+def test_table2_bench_apply(benchmark):
+    a = load("structural_1156_s101")
+    m = ILU0Preconditioner(a)
+    benchmark(m.apply, np.ones(a.n_rows))

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Drop-before vs drop-during: SPCG against ILUT on the same system.
+
+The related-work families differ in *when* they drop: SPCG sparsifies
+the matrix **before** factorization (so the factors inherit the shorter
+dependence chains), while ILUT drops small entries **during**
+factorization (better numerics per nonzero, but the wavefront structure
+of the original pattern survives wherever the retained entries sit).
+
+This example runs four solver configurations on one thermal system and
+compares iterations, wavefronts, and modeled A100 per-iteration time:
+
+    PCG-ILU(0)  |  SPCG-ILU(0)  |  PCG-ILUT  |  SPCG-ILUT
+
+(the last composes both: sparsify first, then factor with thresholds).
+
+Run:  python examples/drop_strategies.py
+"""
+
+import numpy as np
+
+from repro import StoppingCriterion, pcg
+from repro.core import wavefront_aware_sparsify
+from repro.datasets import generate
+from repro.machine import A100, iteration_cost
+from repro.precond import ILU0Preconditioner, ILUTPreconditioner
+
+
+def main() -> None:
+    a = generate("thermal", 2025, seed=101)
+    b = a.matvec(np.ones(a.n_rows))
+    crit = StoppingCriterion(rtol=1e-10, atol=0.0, max_iters=1000)
+    decision = wavefront_aware_sparsify(a)
+    a_hat = decision.a_hat
+    print(f"matrix n={a.n_rows} nnz={a.nnz}; Algorithm 2 chose "
+          f"t={decision.chosen_ratio:g}%\n")
+
+    configs = [
+        ("PCG-ILU(0)", a, lambda m: ILU0Preconditioner(m)),
+        ("SPCG-ILU(0)", a_hat,
+         lambda m: ILU0Preconditioner(m, raise_on_zero_pivot=False)),
+        ("PCG-ILUT", a, lambda m: ILUTPreconditioner(m, p=6,
+                                                     drop_tol=5e-3)),
+        ("SPCG-ILUT", a_hat, lambda m: ILUTPreconditioner(m, p=6,
+                                                          drop_tol=5e-3)),
+    ]
+    print(f"{'variant':<12} {'iters':>6} {'wavefronts':>11} "
+          f"{'nnz(M)':>8} {'iter time':>10}")
+    for label, mat, factory in configs:
+        m = factory(mat)
+        res = pcg(a, b, m, criterion=crit)
+        t = iteration_cost(A100, a, m).total
+        wf = sum(m.apply_levels())
+        print(f"{label:<12} {res.n_iters:>6} {wf:>11} "
+              f"{m.apply_nnz():>8} {t * 1e6:>8.1f}µs"
+              + ("" if res.converged else "  (no convergence)"))
+
+    print("\nTakeaway: ILUT reduces *work* per application; only the "
+          "matrix-level sparsification of SPCG also removes the "
+          "*synchronization* (wavefront) structure — and the two "
+          "compose.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Implicit heat-equation time stepping accelerated by SPCG.
+
+Backward-Euler discretization of ``u_t = ∇·(κ∇u)`` on a 2-D plate with a
+high-contrast conductivity field: each step solves
+``(M + Δt·K) u_{n+1} = M u_n``, an SPD system whose triangular-solve
+dependence structure contains the weak interfaces sparsification cuts.
+
+The preconditioner (and Algorithm 2's decision) is computed **once**,
+then reused across all time steps — the amortization regime where SPCG's
+per-iteration gains compound, which is exactly the scientific-simulation
+use case the paper's introduction motivates.
+
+Run:  python examples/heat_equation.py
+"""
+
+import numpy as np
+
+from repro import pcg, ILU0Preconditioner, StoppingCriterion
+from repro.core import wavefront_aware_sparsify
+from repro.datasets.generators import _grid_edges_2d, _spd_from_edges
+from repro.machine import A100, iteration_cost
+from repro.sparse import CSRMatrix, add, diags
+
+
+def build_heat_operator(side: int, dt: float, seed: int = 0) -> CSRMatrix:
+    """``M + Δt·K`` for a plate with a two-phase conductivity field."""
+    rng = np.random.default_rng(seed)
+    n = side * side
+    xs, ys = np.meshgrid(np.linspace(0, 1, side), np.linspace(0, 1, side),
+                         indexing="ij")
+    # Insulating seams along two diagonal interfaces (weak couplings).
+    kappa = np.where(rng.random((side, side)) < 0.25, 20.0, 1.0).ravel()
+    i, j, _ = _grid_edges_2d(side, side)
+    w = 0.5 * (kappa[i] + kappa[j]) * rng.lognormal(0, 0.5, size=i.size)
+    s = np.arange(n) // side + np.arange(n) % side
+    for c in (0.45, 0.75):
+        crossing = (s[i] < c * s.max()) != (s[j] < c * s.max())
+        w = np.where(crossing, 1e-4 * w, w)
+    k_matrix = _spd_from_edges(i, j, w, n, dominance=1e-6)
+    mass = diags({0: np.full(n, 1.0 / dt)}, n)
+    return add(mass, k_matrix)
+
+
+def main() -> None:
+    side, dt, n_steps = 48, 0.05, 25
+    a = build_heat_operator(side, dt)
+    n = a.n_rows
+    print(f"heat operator: n={n}, nnz={a.nnz}")
+
+    # One-time setup: Algorithm 2 + factorization, reused every step.
+    decision = wavefront_aware_sparsify(a)
+    print(f"Algorithm 2 chose t={decision.chosen_ratio:g}% "
+          f"(wavefronts {decision.w_original} → "
+          f"{sum(ILU0Preconditioner(decision.a_hat).apply_levels()) // 2})")
+    m_spcg = ILU0Preconditioner(decision.a_hat, raise_on_zero_pivot=False)
+    m_base = ILU0Preconditioner(a)
+
+    # Initial condition: hot spot in the center.
+    u = np.zeros(n)
+    u[(side // 2) * side + side // 2] = 100.0
+
+    crit = StoppingCriterion(rtol=1e-10, atol=0.0, max_iters=1000)
+    total_iters_spcg = 0
+    total_iters_base = 0
+    u_base = u.copy()
+    u_spcg = u.copy()
+    for step in range(n_steps):
+        rhs_b = u_base / dt
+        rhs_s = u_spcg / dt
+        rb = pcg(a, rhs_b, m_base, criterion=crit, x0=u_base)
+        rs = pcg(a, rhs_s, m_spcg, criterion=crit, x0=u_spcg)
+        assert rb.converged and rs.converged
+        u_base, u_spcg = rb.x, rs.x
+        total_iters_base += rb.n_iters
+        total_iters_spcg += rs.n_iters
+
+    drift = np.abs(u_base - u_spcg).max() / np.abs(u_base).max()
+    t_base = iteration_cost(A100, a, m_base).total
+    t_spcg = iteration_cost(A100, a, m_spcg).total
+    print(f"\n{n_steps} implicit steps:")
+    print(f"  PCG  iterations: {total_iters_base}  "
+          f"(modeled A100 solve time {total_iters_base * t_base * 1e3:.2f} ms)")
+    print(f"  SPCG iterations: {total_iters_spcg}  "
+          f"(modeled A100 solve time {total_iters_spcg * t_spcg * 1e3:.2f} ms)")
+    print(f"  end-state relative drift between the two solutions: "
+          f"{drift:.2e}")
+    speedup = (total_iters_base * t_base) / (total_iters_spcg * t_spcg)
+    print(f"  amortized solve-phase speedup: ×{speedup:.2f}")
+
+
+if __name__ == "__main__":
+    main()

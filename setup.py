@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+that offline environments lacking the ``wheel`` package (where PEP 517
+editable installs fail with ``invalid command 'bdist_wheel'``) can still
+do ``python setup.py develop`` or a legacy ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

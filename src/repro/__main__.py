@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``suite``
+    Run PCG-vs-SPCG over (a subset of) the built-in registry and print
+    the headline aggregates.
+``solve``
+    Solve a Matrix Market system with SPCG and report the decision.
+``datasets``
+    List the registry (name, category, order, nnz on demand).
+``devices``
+    Show the machine-model presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_suite(args) -> int:
+    from .datasets import SUITE
+    from .harness import run_suite
+    from .machine import get_device
+
+    names = [s.name for s in SUITE if s.n <= args.max_n]
+    if args.category:
+        names = [s.name for s in SUITE
+                 if s.category == args.category and s.n <= args.max_n]
+    if args.limit:
+        names = names[:args.limit]
+    if not names:
+        print("no matrices selected", file=sys.stderr)
+        return 2
+    res = run_suite(names, device=get_device(args.device),
+                    precond=args.precond,
+                    k_candidates=tuple(args.k_candidates),
+                    run_fixed_ratios=not args.fast,
+                    progress=not args.quiet)
+    agg = res.aggregates()
+    print(f"\nmatrices: {agg.n_matrices}  device: {res.device}  "
+          f"preconditioner: {res.precond_kind}")
+    print(f"gmean per-iteration speedup: "
+          f"{agg.gmean_per_iteration_speedup:.3f}x  "
+          f"({agg.percent_accelerated:.1f}% accelerated)")
+    print(f"gmean end-to-end speedup:    "
+          f"{agg.gmean_end_to_end_speedup:.3f}x  "
+          f"(over {agg.n_end_to_end} converging)")
+    print(f"iterations unchanged:        "
+          f"{agg.percent_iterations_unchanged:.1f}%")
+    if not args.fast:
+        print(f"oracle gmean / match rate:   "
+              f"{agg.gmean_oracle_speedup:.3f}x / "
+              f"{agg.percent_oracle_match:.1f}%")
+    print(f"wavefront-speedup Spearman:  "
+          f"{agg.spearman_wavefront_speedup:.3f}")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from .core import spcg
+    from .sparse import is_symmetric, read_matrix_market, symmetrize
+
+    a = read_matrix_market(args.mtx)
+    if not is_symmetric(a, tol=1e-12):
+        print("warning: symmetrizing input", file=sys.stderr)
+        a = symmetrize(a)
+    b = a.matvec(np.ones(a.n_rows))
+    res = spcg(a, b, preconditioner=args.precond, k=args.k,
+               tau=args.tau, omega=args.omega)
+    print(f"n={a.n_rows} nnz={a.nnz} ratio={res.chosen_ratio:g}% "
+          f"converged={res.converged} iters={res.solve.n_iters} "
+          f"residual={res.solve.final_residual:.3e}")
+    return 0 if res.converged else 1
+
+
+def _cmd_datasets(args) -> int:
+    from .datasets import SUITE, load
+
+    for spec in SUITE:
+        line = f"{spec.name:42s} {spec.category:22s} n~{spec.n}"
+        if args.verbose:
+            a = load(spec.name, cache=False)
+            line += f"  (n={a.n_rows}, nnz={a.nnz})"
+        print(line)
+    print(f"\n{len(SUITE)} matrices")
+    return 0
+
+
+def _cmd_devices(_args) -> int:
+    from .machine import A100, EPYC_7413, V100
+
+    for d in (A100, V100, EPYC_7413):
+        print(f"{d.name:10s} kind={d.kind} lanes={d.parallel_lanes} "
+              f"peak={d.peak_flops / 1e12:.1f}TF "
+              f"bw={d.mem_bandwidth / 1e9:.0f}GB/s "
+              f"launch={d.launch_overhead * 1e6:.1f}us "
+              f"sync={d.sync_overhead * 1e6:.1f}us")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="python -m repro",
+                                 description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("suite", help="run PCG vs SPCG over the registry")
+    p.add_argument("--device", default="a100")
+    p.add_argument("--precond", default="ilu0",
+                   choices=["ilu0", "iluk", "ic0", "jacobi"])
+    p.add_argument("--max-n", type=int, default=1600, dest="max_n")
+    p.add_argument("--limit", type=int, default=0)
+    p.add_argument("--category", default="")
+    p.add_argument("--k-candidates", type=int, nargs="+",
+                   default=[1, 2, 3, 5], dest="k_candidates")
+    p.add_argument("--fast", action="store_true",
+                   help="skip the fixed-ratio ablations")
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(func=_cmd_suite)
+
+    p = sub.add_parser("solve", help="solve a Matrix Market system")
+    p.add_argument("mtx")
+    p.add_argument("--precond", default="ilu0",
+                   choices=["ilu0", "iluk", "ic0", "jacobi"])
+    p.add_argument("--k", type=int, default=1)
+    p.add_argument("--tau", type=float, default=1.0)
+    p.add_argument("--omega", type=float, default=10.0)
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("datasets", help="list the matrix registry")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_datasets)
+
+    p = sub.add_parser("devices", help="show machine-model presets")
+    p.set_defaults(func=_cmd_devices)
+
+    args = ap.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

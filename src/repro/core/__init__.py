@@ -1,0 +1,45 @@
+"""The paper's core contribution: wavefront-aware sparsified PCG.
+
+* :mod:`~repro.core.sparsify` — magnitude-based, symmetry-preserving
+  nonzero dropping, producing the decomposition ``A = Â + S``;
+* :mod:`~repro.core.indicators` — the cheap convergence-safety indicator
+  ``‖Â⁻¹‖·‖S‖`` with the inf-norm/min-diagonal condition-number proxy
+  (Section 3.2.2), plus exact variants for the §3.2.3 validation study;
+* :mod:`~repro.core.wavefront_aware` — Algorithm 2;
+* :mod:`~repro.core.spcg` — the end-to-end SPCG driver of Figure 2;
+* :mod:`~repro.core.oracle` — the oracle ratio selector of Section 4.4.
+"""
+
+from .sparsify import SparsifyResult, sparsify_magnitude
+from .indicators import (
+    condition_number_proxy,
+    convergence_indicator,
+    exact_condition_number,
+    exact_inverse_norm,
+    inverse_norm_estimate,
+)
+from .wavefront_aware import (
+    CandidateReport,
+    SparsificationDecision,
+    wavefront_aware_sparsify,
+)
+from .spcg import SPCGResult, spcg, make_preconditioner
+from .oracle import OracleChoice, oracle_select
+
+__all__ = [
+    "SparsifyResult",
+    "sparsify_magnitude",
+    "condition_number_proxy",
+    "convergence_indicator",
+    "exact_condition_number",
+    "exact_inverse_norm",
+    "inverse_norm_estimate",
+    "CandidateReport",
+    "SparsificationDecision",
+    "wavefront_aware_sparsify",
+    "SPCGResult",
+    "spcg",
+    "make_preconditioner",
+    "OracleChoice",
+    "oracle_select",
+]

@@ -1,0 +1,102 @@
+"""Convergence-safety indicators for sparsification (Section 3.2.2).
+
+The theory (Equations 2–6 of the paper) guarantees convergence of the
+sparsified iteration when ``‖Â⁻¹‖·‖S‖ < 1``; Algorithm 2 checks that
+product against a relaxed threshold τ.  Computing ``‖Â⁻¹‖`` exactly is as
+hard as solving the system, so the paper approximates
+
+.. math::
+
+    κ(Â) ≈ \\frac{‖Â‖_∞}{\\min_i Â_{ii}}, \\qquad
+    ‖Â^{-1}‖ ≈ \\frac{κ(Â)}{‖Â‖_2},
+
+using the inf-norm as a largest-eigenvalue proxy and the smallest
+diagonal entry as a smallest-eigenvalue proxy.  The exact variants (dense
+eigenvalue computations) back the §3.2.3 validation that the cheap proxy
+barely changes the outcome.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..sparse.csr import CSRMatrix
+from ..sparse.norms import norm_2_est, norm_inf
+
+__all__ = [
+    "condition_number_proxy",
+    "inverse_norm_estimate",
+    "convergence_indicator",
+    "exact_condition_number",
+    "exact_inverse_norm",
+]
+
+
+def condition_number_proxy(a: CSRMatrix) -> float:
+    """``κ̂(A) = ‖A‖_∞ / min_i A_ii`` — the paper's cheap estimate.
+
+    Returns ``inf`` when the smallest diagonal entry is non-positive
+    (the proxy's smallest-eigenvalue stand-in breaks down, which the
+    caller treats as "unsafe to sparsify").
+    """
+    if a.shape[0] != a.shape[1]:
+        raise ShapeError("condition number requires a square matrix")
+    d = a.diagonal().astype(np.float64)
+    dmin = float(d.min()) if d.size else 0.0
+    if dmin <= 0.0:
+        return float("inf")
+    return norm_inf(a) / dmin
+
+
+def inverse_norm_estimate(a: CSRMatrix, *, norm2: float | None = None
+                          ) -> float:
+    """``‖A⁻¹‖ ≈ κ̂(A) / ‖A‖₂`` (Algorithm 2, line 4).
+
+    ``‖A‖₂`` is estimated by power iteration unless supplied.
+    """
+    kappa = condition_number_proxy(a)
+    if not np.isfinite(kappa):
+        return float("inf")
+    sigma = norm_2_est(a) if norm2 is None else float(norm2)
+    if sigma <= 0.0:
+        return float("inf")
+    return kappa / sigma
+
+
+def convergence_indicator(a_hat: CSRMatrix, s: CSRMatrix, *,
+                          exact: bool = False) -> float:
+    """The safety product ``‖Â⁻¹‖ · ‖S‖`` compared against τ.
+
+    ``‖S‖`` is taken in the inf-norm (sub-multiplicative, O(nnz)).  With
+    ``exact=True`` the inverse norm uses a dense eigendecomposition —
+    only feasible for small matrices, used by the §3.2.3 study.
+    """
+    if a_hat.shape != s.shape:
+        raise ShapeError("Â and S must have identical shapes")
+    s_norm = norm_inf(s)
+    if s_norm == 0.0:
+        return 0.0
+    inv = (exact_inverse_norm(a_hat) if exact
+           else inverse_norm_estimate(a_hat))
+    return inv * s_norm
+
+
+def exact_condition_number(a: CSRMatrix) -> float:
+    """Dense 2-norm condition number (validation only; O(n³))."""
+    dense = a.to_dense().astype(np.float64)
+    sv = np.linalg.svd(dense, compute_uv=False)
+    smin = sv.min()
+    if smin <= 0.0:
+        return float("inf")
+    return float(sv.max() / smin)
+
+
+def exact_inverse_norm(a: CSRMatrix) -> float:
+    """Dense ``‖A⁻¹‖₂`` (validation only; O(n³))."""
+    dense = a.to_dense().astype(np.float64)
+    sv = np.linalg.svd(dense, compute_uv=False)
+    smin = sv.min()
+    if smin <= 0.0:
+        return float("inf")
+    return float(1.0 / smin)

@@ -1,0 +1,90 @@
+"""Oracle ratio selection (Section 4.4 of the paper).
+
+The "Oracle" variant picks, per matrix, the sparsification ratio with the
+best *measured* outcome among the candidates — the upper bound on what
+any selection heuristic (Algorithm 2 included) can achieve.  Two oracle
+objectives are supported, matching the paper's two tables: fastest
+modeled per-iteration time, and fastest modeled end-to-end time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..machine.device import DeviceModel
+from ..machine.kernels import iteration_cost
+from ..precond.base import Preconditioner
+from ..sparse.csr import CSRMatrix
+from .sparsify import SparsifyResult, sparsify_magnitude
+
+__all__ = ["OracleChoice", "oracle_select"]
+
+
+@dataclass(frozen=True)
+class OracleChoice:
+    """Result of an oracle sweep over candidate ratios.
+
+    Attributes
+    ----------
+    ratio_percent:
+        The winning ratio (percent of nnz dropped).
+    per_iteration_seconds:
+        Modeled per-iteration time of the winner.
+    sparsified:
+        The winning decomposition.
+    preconditioner:
+        The preconditioner built on the winner's ``Â``.
+    all_times:
+        Mapping ratio → modeled per-iteration seconds for every candidate
+        that produced a usable preconditioner (failures are absent).
+    """
+
+    ratio_percent: float
+    per_iteration_seconds: float
+    sparsified: SparsifyResult
+    preconditioner: Preconditioner
+    all_times: dict[float, float]
+
+
+def oracle_select(a: CSRMatrix, device: DeviceModel,
+                  precond_factory: Callable[[CSRMatrix], Preconditioner],
+                  *, ratios: tuple[float, ...] = (10.0, 5.0, 1.0)
+                  ) -> OracleChoice:
+    """Pick the ratio with the best modeled per-iteration time.
+
+    Parameters
+    ----------
+    a:
+        The system matrix.
+    device:
+        Machine model to price iterations on.
+    precond_factory:
+        Builds the preconditioner from a sparsified matrix, e.g.
+        ``lambda m: ILU0Preconditioner(m, raise_on_zero_pivot=False)``.
+    ratios:
+        Candidate percentages (the paper's oracle sweeps {1, 5, 10}).
+
+    Raises
+    ------
+    RuntimeError
+        If every candidate fails to factorize.
+    """
+    best: OracleChoice | None = None
+    times: dict[float, float] = {}
+    keep: list[tuple[float, SparsifyResult, Preconditioner, float]] = []
+    for t in ratios:
+        cand = sparsify_magnitude(a, t)
+        try:
+            m = precond_factory(cand.a_hat)
+        except Exception:
+            continue  # breakdown at this ratio — oracle skips it
+        cost = iteration_cost(device, a, m).total
+        times[float(t)] = cost
+        keep.append((float(t), cand, m, cost))
+    if not keep:
+        raise RuntimeError("oracle: no candidate ratio factorized")
+    t, cand, m, cost = min(keep, key=lambda item: item[3])
+    best = OracleChoice(ratio_percent=t, per_iteration_seconds=cost,
+                        sparsified=cand, preconditioner=m, all_times=times)
+    return best

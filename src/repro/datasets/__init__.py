@@ -1,0 +1,43 @@
+"""Synthetic SPD matrix suite — the offline stand-in for SuiteSparse.
+
+The paper evaluates on 107 SPD matrices (order > 1000) from the
+SuiteSparse collection, spanning 17 application categories (Figure 9).
+Without network access those files are unavailable, so this package
+generates a deterministic suite with the *properties that drive the
+paper's phenomena* controlled per category:
+
+* sparsity structure (stencil, banded, random graph, geometric graph),
+* off-diagonal magnitude spread (what magnitude-based dropping keys on),
+* diagonal dominance / conditioning (what convergence depends on),
+* bandwidth and dependence-chain length (what wavefront counts depend on).
+
+Real SuiteSparse matrices drop in transparently through
+:func:`repro.sparse.read_matrix_market` plus
+:func:`~repro.datasets.registry.register_external`.
+"""
+
+from .categories import CATEGORIES, Category
+from .generators import GENERATORS, generate
+from .registry import (
+    MatrixSpec,
+    SUITE,
+    load,
+    names,
+    by_category,
+    specs,
+    register_external,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "Category",
+    "GENERATORS",
+    "generate",
+    "MatrixSpec",
+    "SUITE",
+    "load",
+    "names",
+    "by_category",
+    "specs",
+    "register_external",
+]

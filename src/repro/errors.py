@@ -1,0 +1,92 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause while still letting
+programming errors (``TypeError`` from bad call signatures, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "SparseFormatError",
+    "NotTriangularError",
+    "SingularFactorError",
+    "NotSymmetricError",
+    "NotPositiveDefiniteError",
+    "ConvergenceError",
+    "MatrixMarketError",
+    "DatasetError",
+    "DeviceModelError",
+    "FillLimitExceeded",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array or matrix has an incompatible or invalid shape."""
+
+
+class SparseFormatError(ReproError, ValueError):
+    """A sparse container's internal arrays violate the format invariants.
+
+    Raised by the ``check_format`` validators when e.g. ``indptr`` is not
+    monotone, column indices are out of range, or duplicate entries exist
+    where a canonical format is required.
+    """
+
+
+class NotTriangularError(ReproError, ValueError):
+    """A matrix expected to be (lower/upper) triangular is not."""
+
+
+class SingularFactorError(ReproError, ArithmeticError):
+    """A zero (or numerically negligible) pivot was met during factorization
+    or triangular solution."""
+
+    def __init__(self, row: int, pivot: float, message: str | None = None):
+        self.row = int(row)
+        self.pivot = float(pivot)
+        super().__init__(
+            message
+            or f"zero or negligible pivot {pivot!r} encountered at row {row}"
+        )
+
+
+class NotSymmetricError(ReproError, ValueError):
+    """A matrix required to be symmetric is structurally or numerically not."""
+
+
+class NotPositiveDefiniteError(ReproError, ArithmeticError):
+    """An SPD-only routine detected an indefinite matrix (e.g. CG met
+    a non-positive curvature direction)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative method failed to converge and the caller asked for a
+    hard failure instead of a best-effort result."""
+
+
+class MatrixMarketError(ReproError, ValueError):
+    """Malformed Matrix Market file content."""
+
+
+class DatasetError(ReproError, KeyError):
+    """Unknown dataset name or invalid generator parameters."""
+
+
+class DeviceModelError(ReproError, ValueError):
+    """Invalid device-model parameters (non-positive bandwidth, etc.)."""
+
+
+class FillLimitExceeded(ReproError, RuntimeError):
+    """Symbolic ILU(K) fill grew past the caller-imposed cap.
+
+    Raised by :func:`repro.precond.iluk.iluk_symbolic` when ``nnz_cap`` is
+    set; lets K-selection sweeps abandon a fill-explosive candidate early
+    instead of paying the full symbolic cost.
+    """

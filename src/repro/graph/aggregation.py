@@ -1,0 +1,125 @@
+"""Wavefront aggregation — the HDagg-style alternative to sparsification.
+
+Related work (Zarebavani et al., HDagg; Naumov's cuSPARSE analysis)
+reduces synchronization cost *without touching numerics* by packing
+consecutive wavefronts into one kernel: inside a packed group the
+dependence order is enforced by cheap intra-kernel synchronization
+(cooperative groups / grid sync) instead of a full device-wide barrier
+and kernel relaunch.
+
+This module implements the schedule transformation and exposes the
+per-group profile the machine model prices.  It exists as the natural
+*ablation baseline* for SPCG: aggregation attacks the same
+synchronization bottleneck by scheduling, sparsification attacks it by
+changing the matrix — and the two compose.
+
+Packing rule: consecutive levels are merged while the combined row count
+stays within ``max_group_rows`` (one "wave of waves" that still fits the
+device's concurrent row slots).  Wide levels that alone exceed the
+budget form their own group, preserving the all-rows-resident
+requirement of intra-kernel synchronization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .levels import LevelSchedule
+
+__all__ = ["AggregatedSchedule", "aggregate_levels"]
+
+
+@dataclass(frozen=True)
+class AggregatedSchedule:
+    """A level schedule with consecutive wavefronts packed into groups.
+
+    Attributes
+    ----------
+    base:
+        The underlying :class:`LevelSchedule` (row order is unchanged —
+        only the barrier placement differs).
+    group_ptr:
+        ``group_ptr[g]:group_ptr[g+1]`` indexes the *levels* of group
+        *g*; length ``n_groups + 1``.
+    """
+
+    base: LevelSchedule
+    group_ptr: np.ndarray
+
+    @property
+    def n_groups(self) -> int:
+        """Kernel launches per solve after aggregation."""
+        return int(self.group_ptr.shape[0]) - 1
+
+    @property
+    def n_levels(self) -> int:
+        """Original wavefront count (intra-group syncs still honor it)."""
+        return self.base.n_levels
+
+    @property
+    def n_internal_syncs(self) -> int:
+        """Cheap intra-kernel barriers: one per packed level boundary."""
+        return self.n_levels - self.n_groups
+
+    def group_sizes(self) -> np.ndarray:
+        """Levels per group."""
+        return np.diff(self.group_ptr)
+
+    def group_rows(self) -> np.ndarray:
+        """Rows per group."""
+        lp = self.base.level_ptr
+        return lp[self.group_ptr[1:]] - lp[self.group_ptr[:-1]]
+
+    def validate(self) -> None:
+        """Check the group partition covers every level exactly once."""
+        gp = self.group_ptr
+        if gp[0] != 0 or gp[-1] != self.base.n_levels:
+            raise AssertionError("group_ptr must span all levels")
+        if np.any(np.diff(gp) <= 0):
+            raise AssertionError("groups must be non-empty and ordered")
+
+
+def aggregate_levels(schedule: LevelSchedule, *,
+                     max_group_rows: int) -> AggregatedSchedule:
+    """Pack consecutive wavefronts into groups of ≤ *max_group_rows* rows.
+
+    Parameters
+    ----------
+    schedule:
+        The wavefront schedule to aggregate.
+    max_group_rows:
+        Row budget per packed kernel — typically the device's
+        ``row_slots`` (all rows of a group must be resident for
+        intra-kernel synchronization to be legal).
+
+    Notes
+    -----
+    Greedy left-to-right packing; a level wider than the budget becomes
+    its own group (it cannot be packed but also needs no packing — it
+    already saturates the device).
+    """
+    if max_group_rows < 1:
+        raise ValueError("max_group_rows must be positive")
+    if schedule.n_levels == 0:
+        return AggregatedSchedule(base=schedule,
+                                  group_ptr=np.zeros(1, dtype=np.int64))
+    sizes = schedule.level_sizes
+    group_starts = [0]
+    current = 0
+    for lvl in range(schedule.n_levels):
+        width = int(sizes[lvl])
+        if lvl == group_starts[-1]:
+            current = width
+            continue
+        if current + width <= max_group_rows:
+            current += width
+        else:
+            group_starts.append(lvl)
+            current = width
+    group_ptr = np.array(group_starts + [schedule.n_levels],
+                         dtype=np.int64)
+    agg = AggregatedSchedule(base=schedule, group_ptr=group_ptr)
+    agg.validate()
+    return agg

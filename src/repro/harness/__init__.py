@@ -1,0 +1,46 @@
+"""Experiment harness: runs PCG vs SPCG over the suite and aggregates
+the statistics every table and figure of the paper reports.
+
+* :mod:`~repro.harness.experiment` — one matrix, one device, one
+  preconditioner family: baseline PCG, fixed-ratio variants, Algorithm-2
+  SPCG and the oracle, each with modeled per-iteration / factorization /
+  end-to-end times and measured iteration counts;
+* :mod:`~repro.harness.suite` — sweeps matrix collections and computes
+  the aggregates (geometric-mean speedups, % accelerated, Spearman
+  correlations);
+* :mod:`~repro.harness.report` — ASCII rendering of the paper's
+  histograms, scatter plots, bar charts and tables.
+"""
+
+from .experiment import (
+    ExperimentResult,
+    MethodMetrics,
+    run_experiment,
+    select_best_k,
+)
+from .grid_search import (GridPoint, GridSearchResult,
+                          grid_search_thresholds)
+from .suite import SuiteAggregates, SuiteResult, run_suite
+from .report import (
+    render_bar_chart,
+    render_histogram,
+    render_scatter,
+    render_table,
+)
+
+__all__ = [
+    "MethodMetrics",
+    "ExperimentResult",
+    "run_experiment",
+    "select_best_k",
+    "SuiteResult",
+    "SuiteAggregates",
+    "run_suite",
+    "GridPoint",
+    "GridSearchResult",
+    "grid_search_thresholds",
+    "render_histogram",
+    "render_scatter",
+    "render_bar_chart",
+    "render_table",
+]

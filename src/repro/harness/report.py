@@ -1,0 +1,127 @@
+"""ASCII rendering of the paper's figures and tables.
+
+Every benchmark prints its table/figure through these functions so the
+regenerated artifacts are directly comparable with the paper: histograms
+(Figs. 4a/5a/8), nnz-vs-speedup scatters (Figs. 4b/5b/7), category bar
+charts (Fig. 9), correlation scatters (Fig. 10) and statistics tables
+(Tables 1/2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..util import histogram_fixed
+
+__all__ = ["render_histogram", "render_scatter", "render_bar_chart",
+           "render_table"]
+
+_BAR = "█"
+
+
+def render_histogram(values: np.ndarray, *, title: str, lo: float = 0.0,
+                     hi: float = 5.0, width: float = 0.25,
+                     max_cols: int = 50) -> str:
+    """Fixed-bin percentage histogram, the Figs. 4a/5a/8 format."""
+    values = np.asarray(values, dtype=np.float64)
+    edges, percent = histogram_fixed(values, lo, hi, width)
+    lines = [title, "-" * len(title)]
+    peak = percent.max(initial=1e-9)
+    for k in range(percent.shape[0]):
+        bar = _BAR * int(round(max_cols * percent[k] / peak)) if peak else ""
+        lines.append(f"  [{edges[k]:4.2f},{edges[k + 1]:4.2f}) "
+                     f"{percent[k]:5.1f}% {bar}")
+    lines.append(f"  n={values.size}")
+    return "\n".join(lines)
+
+
+def render_scatter(x: np.ndarray, y: np.ndarray, *, title: str,
+                   xlabel: str = "x", ylabel: str = "y",
+                   logx: bool = False, rows: int = 16, cols: int = 60,
+                   overlay: tuple[np.ndarray, np.ndarray] | None = None
+                   ) -> str:
+    """Character-grid scatter plot (Figs. 4b/5b/7/10).
+
+    *overlay* plots a second series with ``o`` markers (used for the
+    SPCG-vs-oracle comparison of Fig. 7).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    lines = [title, "-" * len(title)]
+    if x.size == 0:
+        lines.append("  (no data)")
+        return "\n".join(lines)
+
+    def tx(v: np.ndarray) -> np.ndarray:
+        return np.log10(np.maximum(v, 1e-300)) if logx else v
+
+    all_x = tx(np.concatenate([x] + ([overlay[0]] if overlay is not None
+                                     else [])))
+    all_y = np.concatenate([y] + ([overlay[1]] if overlay is not None
+                                  else []))
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    x_hi = x_hi if x_hi > x_lo else x_lo + 1.0
+    y_hi = y_hi if y_hi > y_lo else y_lo + 1.0
+    grid = [[" "] * cols for _ in range(rows)]
+
+    def put(xs: np.ndarray, ys: np.ndarray, marker: str) -> None:
+        cx = np.clip(((tx(xs) - x_lo) / (x_hi - x_lo) * (cols - 1))
+                     .astype(int), 0, cols - 1)
+        cy = np.clip(((ys - y_lo) / (y_hi - y_lo) * (rows - 1))
+                     .astype(int), 0, rows - 1)
+        for a, bb in zip(cx, cy):
+            grid[rows - 1 - bb][a] = marker
+
+    put(x, y, "*")
+    if overlay is not None:
+        put(overlay[0], overlay[1], "o")
+    for r_i, row in enumerate(grid):
+        yv = y_hi - (y_hi - y_lo) * r_i / (rows - 1)
+        lines.append(f"  {yv:8.2f} |" + "".join(row))
+    xlo_label = f"{10 ** x_lo:.3g}" if logx else f"{x_lo:.3g}"
+    xhi_label = f"{10 ** x_hi:.3g}" if logx else f"{x_hi:.3g}"
+    lines.append("  " + " " * 9 + "+" + "-" * cols)
+    lines.append(f"  {ylabel} vs {xlabel}: "
+                 f"[{xlo_label} .. {xhi_label}]"
+                 + ("  (log x)" if logx else ""))
+    if overlay is not None:
+        lines.append("  * = SPCG   o = overlay series")
+    return "\n".join(lines)
+
+
+def render_bar_chart(labels: Sequence[str], values: Sequence[float], *,
+                     title: str, max_cols: int = 46,
+                     fmt: str = "{:6.2f}") -> str:
+    """Horizontal bar chart (Fig. 9 category speedups)."""
+    lines = [title, "-" * len(title)]
+    finite = [v for v in values if np.isfinite(v)]
+    peak = max(finite) if finite else 1.0
+    width = max(len(lb) for lb in labels) if labels else 1
+    for lb, v in zip(labels, values):
+        if np.isfinite(v):
+            bar = _BAR * max(1, int(round(max_cols * v / peak)))
+            lines.append(f"  {lb:<{width}s} {fmt.format(v)} {bar}")
+        else:
+            lines.append(f"  {lb:<{width}s}    n/a")
+    return "\n".join(lines)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 *, title: str = "") -> str:
+    """Plain fixed-width table (Tables 1 and 2)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines += [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Suite runner: sweep a matrix collection and aggregate paper statistics.
+
+Aggregates exactly the quantities the evaluation section reports:
+geometric-mean per-iteration and end-to-end speedups, the percentage of
+matrices accelerated, the fraction with approximately unchanged iteration
+counts, the oracle upper bound and its match rate, and the Spearman
+correlation between wavefront reduction and speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..machine.device import A100, DeviceModel
+from ..solvers.stopping import StoppingCriterion
+from ..util import gmean, spearman
+from ..datasets.registry import MatrixSpec, SUITE, load
+from .experiment import ExperimentResult, run_experiment
+
+__all__ = ["SuiteAggregates", "SuiteResult", "run_suite"]
+
+
+@dataclass(frozen=True)
+class SuiteAggregates:
+    """Headline statistics over a suite run (one preconditioner family).
+
+    NaN speedups (non-converging pairs, failed factorizations) are
+    excluded from each aggregate, mirroring the paper's protocol of
+    analysing end-to-end only on converging systems.
+    """
+
+    n_matrices: int
+    gmean_per_iteration_speedup: float
+    percent_accelerated: float
+    gmean_end_to_end_speedup: float
+    n_end_to_end: int
+    percent_iterations_unchanged: float
+    gmean_oracle_speedup: float
+    percent_oracle_match: float
+    spearman_wavefront_speedup: float
+
+
+@dataclass
+class SuiteResult:
+    """Container of per-matrix results plus on-demand aggregates."""
+
+    device: str
+    precond_kind: str
+    results: list[ExperimentResult] = field(default_factory=list)
+
+    # -- vector extractors ------------------------------------------------
+    def per_iteration_speedups(self) -> np.ndarray:
+        """Finite per-iteration speedups (one per usable matrix)."""
+        v = np.array([r.per_iteration_speedup for r in self.results])
+        return v[np.isfinite(v)]
+
+    def end_to_end_speedups(self) -> np.ndarray:
+        """Finite end-to-end speedups (both variants converged)."""
+        v = np.array([r.end_to_end_speedup for r in self.results])
+        return v[np.isfinite(v)]
+
+    def end_to_end_points(self) -> tuple[np.ndarray, np.ndarray]:
+        """(nnz, speedup) pairs for the Fig. 4b/5b scatter."""
+        pts = [(r.nnz, r.end_to_end_speedup) for r in self.results
+               if np.isfinite(r.end_to_end_speedup)]
+        if not pts:
+            return np.empty(0), np.empty(0)
+        arr = np.array(pts, dtype=np.float64)
+        return arr[:, 0], arr[:, 1]
+
+    def wavefront_correlation_points(self) -> tuple[np.ndarray, np.ndarray]:
+        """(per-iteration speedup, wavefront reduction ratio) — Fig. 10."""
+        pts = [(r.per_iteration_speedup, r.wavefront_reduction_ratio)
+               for r in self.results
+               if np.isfinite(r.per_iteration_speedup)
+               and np.isfinite(r.wavefront_reduction_ratio)]
+        if not pts:
+            return np.empty(0), np.empty(0)
+        arr = np.array(pts, dtype=np.float64)
+        return arr[:, 0], arr[:, 1]
+
+    def by_category(self) -> dict[str, list[ExperimentResult]]:
+        out: dict[str, list[ExperimentResult]] = {}
+        for r in self.results:
+            out.setdefault(r.category, []).append(r)
+        return out
+
+    # -- aggregates -------------------------------------------------------
+    def aggregates(self, *, iteration_tolerance: float = 0.10
+                   ) -> SuiteAggregates:
+        """Compute the headline numbers.
+
+        *iteration_tolerance* defines "approximately the same number of
+        iterations": ``|iters_spcg/iters_pcg − 1| ≤ tolerance``.
+        """
+        pi = self.per_iteration_speedups()
+        e2e = self.end_to_end_speedups()
+        it_ratio = np.array([r.iterations_ratio for r in self.results])
+        it_ratio = it_ratio[np.isfinite(it_ratio)]
+        oracle = np.array([r.oracle_per_iteration_speedup
+                           for r in self.results])
+        oracle = oracle[np.isfinite(oracle)]
+
+        match = 0
+        matchable = 0
+        for r in self.results:
+            o = r.oracle
+            if o is None or r.spcg.failed:
+                continue
+            matchable += 1
+            if abs(o.ratio_percent - r.spcg.ratio_percent) < 1e-12:
+                match += 1
+
+        x, y = self.wavefront_correlation_points()
+        rho = spearman(x, y) if x.size >= 2 else float("nan")
+
+        return SuiteAggregates(
+            n_matrices=len(self.results),
+            gmean_per_iteration_speedup=gmean(pi) if pi.size else float("nan"),
+            percent_accelerated=(100.0 * float(np.mean(pi > 1.0))
+                                 if pi.size else float("nan")),
+            gmean_end_to_end_speedup=(gmean(e2e) if e2e.size
+                                      else float("nan")),
+            n_end_to_end=int(e2e.size),
+            percent_iterations_unchanged=(
+                100.0 * float(np.mean(np.abs(it_ratio - 1.0)
+                                      <= iteration_tolerance))
+                if it_ratio.size else float("nan")),
+            gmean_oracle_speedup=(gmean(oracle) if oracle.size
+                                  else float("nan")),
+            percent_oracle_match=(100.0 * match / matchable if matchable
+                                  else float("nan")),
+            spearman_wavefront_speedup=rho,
+        )
+
+    def ratio_table(self, ratios: Sequence[float] = (1.0, 5.0, 10.0)
+                    ) -> dict[str, dict[float, float]]:
+        """Table 1 rows: per-ratio gmean speedup and % accelerated."""
+        gm: dict[float, float] = {}
+        acc: dict[float, float] = {}
+        for t in ratios:
+            sp = []
+            for r in self.results:
+                m = r.per_ratio.get(float(t))
+                if m is None or m.failed or r.baseline.failed:
+                    continue
+                if m.per_iteration_seconds > 0:
+                    sp.append(r.baseline.per_iteration_seconds
+                              / m.per_iteration_seconds)
+            arr = np.array(sp)
+            arr = arr[np.isfinite(arr)]
+            gm[float(t)] = gmean(arr) if arr.size else float("nan")
+            acc[float(t)] = (100.0 * float(np.mean(arr > 1.0))
+                             if arr.size else float("nan"))
+        return {"gmean": gm, "percent_accelerated": acc}
+
+
+def run_suite(matrices: Iterable[MatrixSpec | str] | None = None, *,
+              device: DeviceModel = A100, precond: str = "ilu0",
+              k: int | None = None,
+              k_candidates: tuple[int, ...] = (10, 20, 30, 40),
+              tau: float = 1.0, omega: float = 10.0,
+              ratios: tuple[float, ...] = (10.0, 5.0, 1.0),
+              criterion: StoppingCriterion | None = None,
+              run_fixed_ratios: bool = True,
+              max_n: int | None = None,
+              progress: bool = False) -> SuiteResult:
+    """Run :func:`~repro.harness.experiment.run_experiment` over a
+    collection.
+
+    Parameters
+    ----------
+    matrices:
+        Specs or registry names; the full built-in suite when ``None``.
+    max_n:
+        Skip matrices larger than this order (used by the ILU(K) benches
+        to bound the Python-side symbolic cost).
+    progress:
+        Print one line per matrix (benches enable it).
+    """
+    specs: list[MatrixSpec] = []
+    source = SUITE if matrices is None else matrices
+    from ..datasets.registry import _BY_NAME  # local import by design
+
+    for m in source:
+        spec = _BY_NAME[m] if isinstance(m, str) else m
+        specs.append(spec)
+
+    out = SuiteResult(device=device.name, precond_kind=precond)
+    for spec in specs:
+        a = load(spec.name) if spec.name in _BY_NAME else spec.build()
+        if max_n is not None and a.n_rows > max_n:
+            continue
+        res = run_experiment(
+            a, name=spec.name, category=spec.category, device=device,
+            precond=precond, k=k, k_candidates=k_candidates, tau=tau,
+            omega=omega, ratios=ratios, criterion=criterion,
+            run_fixed_ratios=run_fixed_ratios)
+        out.results.append(res)
+        if progress:
+            pi = res.per_iteration_speedup
+            e2e = res.end_to_end_speedup
+            print(f"  {spec.name:40s} per-iter x{pi:6.2f}  "
+                  f"e2e x{e2e:6.2f}  ratio {res.spcg.ratio_percent:g}%")
+    return out

@@ -1,0 +1,24 @@
+"""Low-rank (HSS-style) compressibility study — Section 4.6 of the paper.
+
+The paper contrasts SPCG with STRUMPACK-style low-rank approximation and
+finds that incomplete factors rarely expose compressible off-diagonal
+blocks (HSS triggered for only ~5.6 % of matrices at default settings).
+This package reproduces that *analysis*: it partitions a factor into a
+block grid, computes the numerical rank of each admissible off-diagonal
+block, and reports how many blocks (and matrices) would benefit from
+low-rank compression.
+"""
+
+from .hss import (
+    BlockRankProfile,
+    HSSEligibility,
+    block_rank_profile,
+    hss_eligibility,
+)
+
+__all__ = [
+    "BlockRankProfile",
+    "HSSEligibility",
+    "block_rank_profile",
+    "hss_eligibility",
+]

@@ -1,0 +1,102 @@
+"""Modeled profiler metrics — the stand-in for Nsight Compute (§5.3).
+
+The paper profiles DRAM utilization and compute (SM) utilization before
+and after sparsification for representative matrices.  Here the same two
+percentages are computed from the modeled kernel mix of one PCG
+iteration: achieved FLOP/s and bytes/s divided by device peaks.
+Sparsification changes both numerator (less work) and denominator-time
+(fewer sync floors), so matrices whose runtime was dominated by barrier
+waits show *increasing* DRAM utilization with speedup — exactly the
+``thermomech_dM`` pattern the paper reports — while latency-bound ones
+stay flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..precond.base import Preconditioner
+from ..sparse.csr import CSRMatrix
+from .device import DeviceModel
+from .kernels import IterationCost, iteration_cost
+
+__all__ = ["PhaseUtilization", "KernelProfiler"]
+
+
+@dataclass(frozen=True)
+class PhaseUtilization:
+    """Utilization of one phase (e.g. one PCG iteration).
+
+    Attributes
+    ----------
+    seconds:
+        Modeled phase duration.
+    flops, bytes:
+        Work and traffic during the phase.
+    dram_util_percent:
+        Achieved bandwidth as % of device peak.
+    compute_util_percent:
+        Achieved FLOP rate as % of device peak.
+    """
+
+    seconds: float
+    flops: float
+    bytes: float
+    dram_util_percent: float
+    compute_util_percent: float
+
+    @property
+    def bound(self) -> str:
+        """Which roof dominates: ``"memory"``, ``"compute"`` or
+        ``"latency"`` (neither utilization above 1 %)."""
+        if max(self.dram_util_percent, self.compute_util_percent) < 1.0:
+            return "latency"
+        return ("memory" if self.dram_util_percent
+                >= self.compute_util_percent else "compute")
+
+
+class KernelProfiler:
+    """Computes modeled utilization for a PCG iteration on a device."""
+
+    def __init__(self, device: DeviceModel):
+        self.device = device
+
+    def iteration_utilization(self, a: CSRMatrix,
+                              preconditioner: Preconditioner
+                              ) -> PhaseUtilization:
+        """Profile one Algorithm-1 iteration with the given operator and
+        preconditioner."""
+        cost = iteration_cost(self.device, a, preconditioner)
+        flops, bytes_ = self._iteration_work(a, preconditioner)
+        return self._utilization(cost, flops, bytes_)
+
+    # ------------------------------------------------------------------
+    def _iteration_work(self, a: CSRMatrix,
+                        preconditioner: Preconditioner
+                        ) -> tuple[float, float]:
+        dev = self.device
+        n = a.n_rows
+        # SpMV.
+        flops = 2.0 * a.nnz
+        bytes_ = (a.nnz * (dev.value_bytes + dev.index_bytes)
+                  + n * (2 * dev.value_bytes + dev.index_bytes))
+        # Preconditioner application.
+        pn = preconditioner.apply_nnz()
+        flops += 2.0 * pn
+        bytes_ += pn * (dev.value_bytes + dev.index_bytes)
+        # 3 dots + 3 axpys.
+        flops += 6.0 * 2.0 * n
+        bytes_ += (3 * 2 + 3 * 3) * n * dev.value_bytes
+        return flops, bytes_
+
+    def _utilization(self, cost: IterationCost, flops: float,
+                     bytes_: float) -> PhaseUtilization:
+        t = max(cost.total, 1e-30)
+        dev = self.device
+        return PhaseUtilization(
+            seconds=t,
+            flops=flops,
+            bytes=bytes_,
+            dram_util_percent=100.0 * (bytes_ / t) / dev.mem_bandwidth,
+            compute_util_percent=100.0 * (flops / t) / dev.peak_flops,
+        )

@@ -1,0 +1,52 @@
+"""Preconditioners and sparse triangular solvers.
+
+Implements the preconditioning stack of the paper from scratch:
+
+* :mod:`~repro.precond.triangular` — forward/backward substitution, both a
+  sequential reference and the wavefront (level-scheduled) executor whose
+  per-level segmented kernel mirrors one GPU kernel launch per wavefront;
+* :mod:`~repro.precond.ilu0` — zero-fill incomplete LU (the cuSPARSE
+  baseline in the paper);
+* :mod:`~repro.precond.iluk` — level-of-fill ILU(K) (the SuperLU-based
+  preconditioner in the paper);
+* :mod:`~repro.precond.ic0` — zero-fill incomplete Cholesky (IC(0)), the
+  SPD-specialized sibling mentioned in Section 6.2;
+* Jacobi, SSOR and identity preconditioners as cheap baselines.
+
+All preconditioners implement :class:`~repro.precond.base.Preconditioner`,
+so Algorithm 1 (:func:`repro.solvers.pcg`) is agnostic to the choice.
+"""
+
+from .base import Preconditioner
+from .identity import IdentityPreconditioner
+from .jacobi import JacobiPreconditioner
+from .ssor import SSORPreconditioner
+from .triangular import (
+    ScheduledTriangularSolver,
+    solve_lower_sequential,
+    solve_upper_sequential,
+)
+from .ilu0 import ILUFactors, ilu0, ILU0Preconditioner
+from .iluk import iluk, iluk_symbolic, ILUKPreconditioner
+from .ic0 import ic0, IC0Preconditioner
+from .ilut import ilut, ILUTPreconditioner
+
+__all__ = [
+    "Preconditioner",
+    "IdentityPreconditioner",
+    "JacobiPreconditioner",
+    "SSORPreconditioner",
+    "ScheduledTriangularSolver",
+    "solve_lower_sequential",
+    "solve_upper_sequential",
+    "ILUFactors",
+    "ilu0",
+    "ILU0Preconditioner",
+    "iluk",
+    "iluk_symbolic",
+    "ILUKPreconditioner",
+    "ic0",
+    "IC0Preconditioner",
+    "ilut",
+    "ILUTPreconditioner",
+]

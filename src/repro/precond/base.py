@@ -1,0 +1,52 @@
+"""Preconditioner interface.
+
+A preconditioner is an operator ``M ≈ A`` whose application ``z = M⁻¹ r``
+is cheap; PCG (Algorithm 1, line 13) calls :meth:`Preconditioner.apply`
+once per iteration.  Implementations additionally expose the metadata the
+machine model needs to price that application: the triangular factors'
+wavefront schedules and nonzero counts.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Preconditioner"]
+
+
+class Preconditioner(abc.ABC):
+    """Abstract base for all preconditioners."""
+
+    #: Short identifier used in reports ("ilu0", "iluk", "jacobi", ...).
+    name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def n(self) -> int:
+        """Order of the (square) operator."""
+
+    @abc.abstractmethod
+    def apply(self, r: np.ndarray, out: np.ndarray | None = None
+              ) -> np.ndarray:
+        """Return ``z = M⁻¹ r``.
+
+        Must not modify *r*; may write into *out* when provided.
+        """
+
+    # -- cost metadata (overridden by factor-based preconditioners) -------
+    def apply_nnz(self) -> int:
+        """Stored nonzeros touched by one application (for cost models)."""
+        return self.n
+
+    def apply_levels(self) -> tuple[int, int]:
+        """(forward, backward) wavefront counts of one application.
+
+        Preconditioners without triangular solves report ``(0, 0)``:
+        their application is a single fully parallel kernel.
+        """
+        return (0, 0)
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        return self.apply(r)

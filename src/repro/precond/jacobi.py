@@ -1,0 +1,48 @@
+"""Jacobi (diagonal) preconditioner.
+
+``M = diag(A)`` — the cheapest nontrivial preconditioner and a useful
+baseline: its application is a single fully parallel kernel with *no*
+wavefront structure, so it marks the zero-synchronization end of the
+spectrum the paper's sparsification moves ILU towards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SingularFactorError
+from ..sparse.csr import CSRMatrix
+from .base import Preconditioner
+
+__all__ = ["JacobiPreconditioner"]
+
+
+class JacobiPreconditioner(Preconditioner):
+    """``z = diag(A)⁻¹ r``.
+
+    Raises :class:`SingularFactorError` when any diagonal entry is zero.
+    """
+
+    name = "jacobi"
+
+    def __init__(self, a: CSRMatrix):
+        d = a.diagonal().astype(np.float64)
+        if np.any(d == 0.0):
+            row = int(np.flatnonzero(d == 0.0)[0])
+            raise SingularFactorError(row, 0.0,
+                                      f"zero diagonal at row {row}")
+        self._inv_diag = (1.0 / d).astype(a.dtype)
+
+    @property
+    def n(self) -> int:
+        return int(self._inv_diag.shape[0])
+
+    def apply(self, r: np.ndarray, out: np.ndarray | None = None
+              ) -> np.ndarray:
+        if out is not None:
+            np.multiply(r, self._inv_diag, out=out)
+            return out
+        return r * self._inv_diag
+
+    def apply_nnz(self) -> int:
+        return self.n

@@ -1,0 +1,81 @@
+"""Symmetric successive over-relaxation (SSOR) preconditioner.
+
+``M = (D/ω + L) · (D/ω)⁻¹ · (D/ω + U) · ω/(2-ω)`` for ``A = L + D + U``.
+Like ILU, its application is a forward and a backward triangular sweep on
+the pattern of ``A`` itself — no factorization cost at all — which makes
+it a natural ablation point between Jacobi and ILU(0): identical
+wavefront structure to ILU(0) but a weaker approximation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SingularFactorError
+from ..sparse.csr import CSRMatrix
+from ..sparse.ops import extract_lower, extract_upper
+from .base import Preconditioner
+from .triangular import ScheduledTriangularSolver
+
+__all__ = ["SSORPreconditioner"]
+
+
+class SSORPreconditioner(Preconditioner):
+    """SSOR preconditioner with relaxation parameter ``omega ∈ (0, 2)``.
+
+    The two sweeps reuse the wavefront executor, so its
+    :meth:`apply_levels` is comparable with the ILU preconditioners'.
+    """
+
+    name = "ssor"
+
+    def __init__(self, a: CSRMatrix, *, omega: float = 1.0):
+        if not (0.0 < omega < 2.0):
+            raise ValueError(f"omega must lie in (0, 2), got {omega}")
+        self.omega = float(omega)
+        d = a.diagonal().astype(np.float64)
+        if np.any(d == 0.0):
+            row = int(np.flatnonzero(d == 0.0)[0])
+            raise SingularFactorError(row, 0.0)
+        n = a.n_rows
+
+        # Build (D/ω + L) and (D/ω + U) by rescaling the diagonals of the
+        # extracted triangles in place.
+        def with_scaled_diag(tri: CSRMatrix) -> CSRMatrix:
+            t = tri.copy()
+            rid = np.repeat(np.arange(n, dtype=np.int64), t.row_lengths())
+            dmask = rid == t.indices
+            t.data[dmask] = (d[rid[dmask]] / self.omega).astype(t.dtype)
+            return t
+
+        self._low = with_scaled_diag(extract_lower(a))
+        self._up = with_scaled_diag(extract_upper(a))
+        self._fwd = ScheduledTriangularSolver(self._low, kind="lower")
+        self._bwd = ScheduledTriangularSolver(self._up, kind="upper")
+        # M = ω/(2-ω) · (D/ω+L)(D/ω)⁻¹(D/ω+U)  ⇒
+        # M⁻¹ = (2-ω)/ω · (D/ω+U)⁻¹ · (D/ω) · (D/ω+L)⁻¹; fold the scalar
+        # and the middle D/ω into one scaling vector.
+        self._mid = (d * (2.0 - self.omega)
+                     / self.omega ** 2).astype(a.dtype)
+
+    @property
+    def n(self) -> int:
+        return self._low.n_rows
+
+    def apply(self, r: np.ndarray, out: np.ndarray | None = None
+              ) -> np.ndarray:
+        """``z = M⁻¹ r`` via forward sweep, diagonal scale, backward sweep."""
+        y = self._fwd.solve(r)
+        y = y * self._mid
+        return self._bwd.solve(y, out=out)
+
+    def apply_nnz(self) -> int:
+        return self._low.nnz + self._up.nnz + self.n
+
+    def apply_levels(self) -> tuple[int, int]:
+        return (self._fwd.n_levels, self._bwd.n_levels)
+
+    def solvers(self) -> tuple[ScheduledTriangularSolver,
+                               ScheduledTriangularSolver]:
+        """The (forward, backward) wavefront solvers, for the cost model."""
+        return self._fwd, self._bwd

@@ -1,0 +1,154 @@
+"""Conjugate gradient and left-preconditioned conjugate gradient.
+
+:func:`pcg` implements Algorithm 1 of the paper line by line:
+
+.. code-block:: text
+
+    r0 = b - A x0;  z0 = M^-1 r0;  p0 = z0
+    repeat:
+        w  = A p
+        alpha = (r, z) / (p, w)
+        x += alpha p;  r -= alpha w
+        z  = M^-1 r
+        beta = (r+, z+) / (r, z)
+        p  = z + beta p
+
+Each iteration performs one SpMV, one preconditioner application, two
+inner products and three AXPYs — the kernel mix the machine model prices.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..precond.base import Preconditioner
+from ..precond.identity import IdentityPreconditioner
+from ..sparse.csr import CSRMatrix
+from .result import SolveResult, TerminationReason
+from .stopping import StoppingCriterion
+
+__all__ = ["cg", "pcg"]
+
+
+def pcg(a: CSRMatrix, b: np.ndarray, preconditioner: Preconditioner | None
+        = None, *, x0: np.ndarray | None = None,
+        criterion: StoppingCriterion | None = None,
+        callback: Callable[[int, float], None] | None = None) -> SolveResult:
+    """Left-preconditioned conjugate gradient (Algorithm 1).
+
+    Parameters
+    ----------
+    a:
+        SPD system matrix in CSR form (symmetry is assumed, not checked —
+        use :func:`repro.sparse.is_symmetric` when in doubt).
+    b:
+        Right-hand side.
+    preconditioner:
+        Any :class:`~repro.precond.base.Preconditioner`; identity when
+        ``None``.
+    x0:
+        Initial guess (zero vector when ``None``, as in the paper).
+    criterion:
+        Stopping rule; the paper's ``‖r‖ < 1e-12`` / 1000-iteration cap
+        when ``None``.
+    callback:
+        Invoked as ``callback(k, r_norm)`` after each convergence check.
+
+    Returns
+    -------
+    SolveResult
+        Never raises on non-convergence; inspect ``result.reason``.
+    """
+    n = a.n_rows
+    if a.shape[0] != a.shape[1]:
+        raise ShapeError("pcg requires a square matrix")
+    b = np.asarray(b)
+    if b.shape != (n,):
+        raise ShapeError(f"b must have shape ({n},), got {b.shape}")
+    m = preconditioner if preconditioner is not None \
+        else IdentityPreconditioner(n)
+    if m.n != n:
+        raise ShapeError("preconditioner order does not match the matrix")
+    crit = criterion if criterion is not None \
+        else StoppingCriterion.paper_default()
+
+    dtype = np.result_type(a.dtype, b.dtype)
+    x = (np.zeros(n, dtype=dtype) if x0 is None
+         else np.asarray(x0, dtype=dtype).copy())
+    if x.shape != (n,):
+        raise ShapeError(f"x0 must have shape ({n},)")
+
+    b_norm = float(np.linalg.norm(b))
+    threshold = crit.threshold(b_norm)
+
+    # r0 = b - A x0  (skip the SpMV for the common zero initial guess)
+    r = b.astype(dtype, copy=True) if not x.any() else b - a.matvec(x)
+    res_norms = [float(np.linalg.norm(r))]
+    if callback is not None:
+        callback(0, res_norms[0])
+    if crit.is_met(res_norms[0], b_norm):
+        return SolveResult(x=x, converged=True, n_iters=0,
+                           residual_norms=np.array(res_norms),
+                           reason=TerminationReason.CONVERGED,
+                           tolerance=threshold)
+
+    z = m.apply(r)
+    p = z.astype(dtype, copy=True)
+    rz = float(np.dot(r, z))
+    if rz == 0.0 or not np.isfinite(rz):
+        return SolveResult(x=x, converged=False, n_iters=0,
+                           residual_norms=np.array(res_norms),
+                           reason=TerminationReason.NUMERICAL_BREAKDOWN,
+                           tolerance=threshold)
+
+    reason = TerminationReason.MAX_ITERATIONS
+    k = 0
+    for k in range(1, crit.max_iters + 1):
+        w = a.matvec(p)
+        pw = float(np.dot(p, w))
+        if not np.isfinite(pw):
+            reason = TerminationReason.NUMERICAL_BREAKDOWN
+            k -= 1
+            break
+        if pw <= 0.0:
+            reason = TerminationReason.INDEFINITE
+            k -= 1
+            break
+        alpha = rz / pw
+        x += alpha * p
+        r -= alpha * w
+        r_norm = float(np.linalg.norm(r))
+        res_norms.append(r_norm)
+        if callback is not None:
+            callback(k, r_norm)
+        if not np.isfinite(r_norm):
+            reason = TerminationReason.NUMERICAL_BREAKDOWN
+            break
+        if crit.is_met(r_norm, b_norm):
+            reason = TerminationReason.CONVERGED
+            break
+        z = m.apply(r)
+        rz_new = float(np.dot(r, z))
+        if rz_new == 0.0 or not np.isfinite(rz_new):
+            reason = TerminationReason.NUMERICAL_BREAKDOWN
+            break
+        beta = rz_new / rz
+        rz = rz_new
+        p = z + beta * p
+
+    return SolveResult(
+        x=x,
+        converged=reason is TerminationReason.CONVERGED,
+        n_iters=k,
+        residual_norms=np.asarray(res_norms),
+        reason=reason,
+        tolerance=threshold,
+    )
+
+
+def cg(a: CSRMatrix, b: np.ndarray, **kwargs) -> SolveResult:
+    """Unpreconditioned conjugate gradient (PCG with ``M = I``)."""
+    return pcg(a, b, None, **kwargs)

@@ -1,0 +1,73 @@
+"""Solve result record returned by the iterative solvers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TerminationReason", "SolveResult"]
+
+
+class TerminationReason(enum.Enum):
+    """Why the iteration stopped."""
+
+    #: Residual norm dropped below the tolerance.
+    CONVERGED = "converged"
+    #: Iteration budget exhausted (the paper caps at 1000 iterations).
+    MAX_ITERATIONS = "max_iterations"
+    #: Non-positive curvature ``pᵀAp ≤ 0`` — matrix not SPD (numerically).
+    INDEFINITE = "indefinite"
+    #: NaN/Inf appeared in the iteration (the paper excludes such runs).
+    NUMERICAL_BREAKDOWN = "breakdown"
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a (P)CG solve.
+
+    Attributes
+    ----------
+    x:
+        Final iterate (best effort when not converged).
+    converged:
+        ``True`` iff the stopping criterion was met.
+    n_iters:
+        Number of completed iterations (0 when the initial guess already
+        satisfies the criterion).
+    residual_norms:
+        2-norms of the (unpreconditioned) residual, one per convergence
+        check, starting with the initial residual; length ``n_iters + 1``.
+    reason:
+        :class:`TerminationReason`.
+    tolerance:
+        The absolute residual threshold actually used for the checks.
+    """
+
+    x: np.ndarray
+    converged: bool
+    n_iters: int
+    residual_norms: np.ndarray
+    reason: TerminationReason
+    tolerance: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def final_residual(self) -> float:
+        """Last recorded residual 2-norm."""
+        return (float(self.residual_norms[-1])
+                if self.residual_norms.size else float("nan"))
+
+    @property
+    def reduction(self) -> float:
+        """``‖r_final‖ / ‖r_0‖`` (NaN when the history is empty)."""
+        if self.residual_norms.size == 0 or self.residual_norms[0] == 0.0:
+            return float("nan")
+        return float(self.residual_norms[-1] / self.residual_norms[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SolveResult(converged={self.converged}, "
+                f"n_iters={self.n_iters}, "
+                f"final_residual={self.final_residual:.3e}, "
+                f"reason={self.reason.value})")

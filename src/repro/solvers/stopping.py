@@ -1,0 +1,57 @@
+"""Stopping criteria for iterative solvers.
+
+The paper uses an absolute residual accuracy of 1e-12 with a cap of 1000
+iterations (Section 4.3); :class:`StoppingCriterion` generalizes that to
+the usual ``‖r‖ ≤ max(rtol·‖b‖, atol)`` rule so both absolute and
+relative experiments are expressible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StoppingCriterion"]
+
+
+@dataclass(frozen=True)
+class StoppingCriterion:
+    """Residual-based stopping rule.
+
+    Attributes
+    ----------
+    rtol:
+        Relative tolerance w.r.t. ``‖b‖₂`` (0 disables the relative part).
+    atol:
+        Absolute tolerance (the paper's 1e-12 corresponds to
+        ``rtol=0, atol=1e-12`` — with ``b`` normalized, the two coincide).
+    max_iters:
+        Iteration cap (paper: 1000).
+    """
+
+    rtol: float = 0.0
+    atol: float = 1e-12
+    max_iters: int = 1000
+
+    def __post_init__(self):
+        if self.rtol < 0 or self.atol < 0:
+            raise ValueError("tolerances must be non-negative")
+        if self.rtol == 0 and self.atol == 0:
+            raise ValueError("at least one of rtol/atol must be positive")
+        if self.max_iters < 1:
+            raise ValueError("max_iters must be at least 1")
+
+    def threshold(self, b_norm: float) -> float:
+        """Absolute residual threshold for a right-hand side of norm
+        ``b_norm``."""
+        return max(self.rtol * float(b_norm), self.atol)
+
+    @staticmethod
+    def paper_default() -> "StoppingCriterion":
+        """The configuration of Section 4.3: ‖r‖ < 1e-12, ≤1000 iterations."""
+        return StoppingCriterion(rtol=0.0, atol=1e-12, max_iters=1000)
+
+    def is_met(self, r_norm: float, b_norm: float) -> bool:
+        """Whether residual norm *r_norm* satisfies the criterion."""
+        return bool(np.isfinite(r_norm)) and r_norm <= self.threshold(b_norm)

@@ -1,0 +1,115 @@
+"""Coordinate-format sparse matrix.
+
+COO is the assembly format: generators and the Matrix Market reader build
+matrices as ``(row, col, value)`` triplets, which are then converted once to
+CSR for all computation.  Duplicate entries are summed on conversion, matching
+the finite-element assembly convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError, SparseFormatError
+
+__all__ = ["COOMatrix"]
+
+
+class COOMatrix:
+    """Sparse matrix in coordinate (triplet) format.
+
+    Parameters
+    ----------
+    row, col:
+        Integer index arrays of equal length.
+    data:
+        Values, same length as the index arrays.
+    shape:
+        ``(n_rows, n_cols)``.
+    check:
+        Validate index bounds (default ``True``).
+    """
+
+    __slots__ = ("row", "col", "data", "shape")
+
+    def __init__(self, row, col, data, shape: tuple[int, int], *,
+                 check: bool = True):
+        self.row = np.ascontiguousarray(row, dtype=np.int64)
+        self.col = np.ascontiguousarray(col, dtype=np.int64)
+        self.data = np.ascontiguousarray(data)
+        if len(shape) != 2 or shape[0] < 0 or shape[1] < 0:
+            raise ShapeError(f"invalid shape {shape!r}")
+        self.shape = (int(shape[0]), int(shape[1]))
+        if not (self.row.shape == self.col.shape == self.data.shape):
+            raise ShapeError("row, col and data must have identical lengths")
+        if self.row.ndim != 1:
+            raise ShapeError("COO arrays must be 1-D")
+        if check:
+            self.check_format()
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (duplicates counted separately)."""
+        return int(self.data.shape[0])
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def check_format(self) -> None:
+        """Raise :class:`SparseFormatError` if indices are out of bounds."""
+        n, m = self.shape
+        if self.nnz:
+            if self.row.min(initial=0) < 0 or self.row.max(initial=-1) >= n:
+                raise SparseFormatError("row index out of bounds")
+            if self.col.min(initial=0) < 0 or self.col.max(initial=-1) >= m:
+                raise SparseFormatError("column index out of bounds")
+
+    # ------------------------------------------------------------------
+    def tocsr(self):
+        """Convert to CSR, summing duplicate entries and sorting columns."""
+        from .csr import CSRMatrix
+
+        n, m = self.shape
+        if self.nnz == 0:
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            return CSRMatrix(indptr, np.empty(0, dtype=np.int64),
+                             np.empty(0, dtype=self.data.dtype), self.shape,
+                             check=False)
+        order = np.lexsort((self.col, self.row))
+        r = self.row[order]
+        c = self.col[order]
+        v = self.data[order]
+        # Collapse duplicates: keep the first of each (r, c) run, sum values.
+        new_run = np.empty(r.shape[0], dtype=bool)
+        new_run[0] = True
+        new_run[1:] = (r[1:] != r[:-1]) | (c[1:] != c[:-1])
+        run_ids = np.cumsum(new_run) - 1
+        n_unique = int(run_ids[-1]) + 1
+        summed = np.zeros(n_unique, dtype=np.result_type(v.dtype, np.float64)
+                          if v.dtype.kind == "f" else v.dtype)
+        np.add.at(summed, run_ids, v)
+        keep = np.flatnonzero(new_run)
+        rows_u = r[keep]
+        cols_u = c[keep]
+        vals_u = summed.astype(v.dtype, copy=False)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, rows_u + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CSRMatrix(indptr, cols_u, vals_u, self.shape, check=False)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense 2-D array (duplicates summed)."""
+        out = np.zeros(self.shape, dtype=self.data.dtype)
+        np.add.at(out, (self.row, self.col), self.data)
+        return out
+
+    def transpose(self) -> "COOMatrix":
+        """Return the transpose (shares value storage)."""
+        return COOMatrix(self.col, self.row, self.data,
+                         (self.shape[1], self.shape[0]), check=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"COOMatrix(shape={self.shape}, nnz={self.nnz}, "
+                f"dtype={self.data.dtype})")

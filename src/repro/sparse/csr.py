@@ -1,0 +1,239 @@
+"""Compressed sparse row matrix — the workhorse container.
+
+Everything in the SPCG pipeline (sparsification, ILU factorization,
+wavefront scheduling, triangular solves, SpMV) operates on this class.
+The canonical form required by the numeric kernels is: sorted column
+indices within each row and no duplicate entries; :meth:`check_format`
+verifies it and conversions from COO establish it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError, SparseFormatError
+from ..util import segment_sum
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """Sparse matrix in compressed sparse row format (Figure 1b of the paper).
+
+    Parameters
+    ----------
+    indptr:
+        Row pointer array of length ``n_rows + 1``.
+    indices:
+        Column indices, length ``nnz``.
+    data:
+        Values, length ``nnz``.
+    shape:
+        ``(n_rows, n_cols)``.
+    check:
+        When ``True`` (default) validate the format invariants.
+    """
+
+    __slots__ = ("indptr", "indices", "data", "shape")
+
+    def __init__(self, indptr, indices, data, shape: tuple[int, int], *,
+                 check: bool = True):
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.data = np.ascontiguousarray(data)
+        if len(shape) != 2 or shape[0] < 0 or shape[1] < 0:
+            raise ShapeError(f"invalid shape {shape!r}")
+        self.shape = (int(shape[0]), int(shape[1]))
+        if check:
+            self.check_format()
+
+    # -- basic properties ------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indptr[-1])
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def density(self) -> float:
+        """Fraction of stored entries relative to a dense matrix."""
+        n, m = self.shape
+        return self.nnz / (n * m) if n and m else 0.0
+
+    def row_lengths(self) -> np.ndarray:
+        """Stored entries per row, length ``n_rows``."""
+        return np.diff(self.indptr)
+
+    def row_slice(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Views of row *i*'s ``(columns, values)``."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    # -- validation ------------------------------------------------------
+    def check_format(self) -> None:
+        """Validate CSR invariants, raising :class:`SparseFormatError`.
+
+        Checks: indptr length/monotonicity, index bounds, array lengths,
+        sorted-and-unique columns within each row (the canonical form the
+        numeric kernels assume).
+        """
+        n, m = self.shape
+        if self.indptr.ndim != 1 or self.indptr.shape[0] != n + 1:
+            raise SparseFormatError(
+                f"indptr must have length n_rows+1={n + 1}, "
+                f"got {self.indptr.shape}")
+        if self.indptr[0] != 0:
+            raise SparseFormatError("indptr[0] must be 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise SparseFormatError("indptr must be non-decreasing")
+        nnz = int(self.indptr[-1])
+        if self.indices.shape != (nnz,) or self.data.shape != (nnz,):
+            raise SparseFormatError(
+                "indices/data length must equal indptr[-1]")
+        if nnz:
+            if self.indices.min() < 0 or self.indices.max() >= m:
+                raise SparseFormatError("column index out of bounds")
+            # Sorted & unique within rows: differences inside a row must be
+            # strictly positive.  Row boundaries are exempt.
+            d = np.diff(self.indices)
+            row_start = np.zeros(nnz, dtype=bool)
+            # Interior row starts; boundaries equal to nnz come from
+            # trailing empty rows and mark no entry.
+            starts = self.indptr[1:-1]
+            row_start[starts[starts < nnz]] = True
+            interior = ~row_start[1:]
+            if np.any(d[interior] <= 0):
+                raise SparseFormatError(
+                    "column indices must be sorted and unique within rows")
+
+    # -- constructors / conversions --------------------------------------
+    @classmethod
+    def from_dense(cls, dense, *, dtype=None) -> "CSRMatrix":
+        """Build from a dense 2-D array, storing its nonzero entries."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ShapeError("from_dense expects a 2-D array")
+        if dtype is not None:
+            dense = dense.astype(dtype, copy=False)
+        rows, cols = np.nonzero(dense)
+        indptr = np.zeros(dense.shape[0] + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(indptr, cols.astype(np.int64), dense[rows, cols].copy(),
+                   dense.shape, check=False)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense 2-D array."""
+        out = np.zeros(self.shape, dtype=self.data.dtype)
+        rows = np.repeat(np.arange(self.n_rows), self.row_lengths())
+        out[rows, self.indices] = self.data
+        return out
+
+    def tocoo(self):
+        """Convert to :class:`~repro.sparse.coo.COOMatrix` (copies indices)."""
+        from .coo import COOMatrix
+
+        rows = np.repeat(np.arange(self.n_rows, dtype=np.int64),
+                         self.row_lengths())
+        return COOMatrix(rows, self.indices.copy(), self.data.copy(),
+                         self.shape, check=False)
+
+    def tocsc(self):
+        """Convert to :class:`~repro.sparse.csc.CSCMatrix`."""
+        from .csc import CSCMatrix
+
+        t = self.transpose()
+        return CSCMatrix(t.indptr, t.indices, t.data, self.shape, check=False)
+
+    def transpose(self) -> "CSRMatrix":
+        """Return the transpose as a new canonical CSR matrix."""
+        n, m = self.shape
+        nnz = self.nnz
+        rows = np.repeat(np.arange(n, dtype=np.int64), self.row_lengths())
+        # Stable counting sort by column gives the transpose's row order;
+        # within a column the original row order is already ascending, so
+        # the result is canonical.
+        indptr = np.zeros(m + 1, dtype=np.int64)
+        np.add.at(indptr, self.indices + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        order = np.argsort(self.indices, kind="stable")
+        return CSRMatrix(indptr, rows[order], self.data[order], (m, n),
+                         check=False)
+
+    def copy(self) -> "CSRMatrix":
+        """Deep copy."""
+        return CSRMatrix(self.indptr.copy(), self.indices.copy(),
+                         self.data.copy(), self.shape, check=False)
+
+    def astype(self, dtype) -> "CSRMatrix":
+        """Return a copy with values cast to *dtype* (indices shared)."""
+        return CSRMatrix(self.indptr, self.indices,
+                         self.data.astype(dtype), self.shape, check=False)
+
+    # -- numeric kernels ---------------------------------------------------
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Sparse matrix–vector product ``y = A @ x``.
+
+        Vectorized as a gather + segmented sum; this is the SpMV kernel on
+        line 9 of Algorithm 1.
+        """
+        x = np.asarray(x)
+        if x.shape != (self.n_cols,):
+            raise ShapeError(
+                f"x must have shape ({self.n_cols},), got {x.shape}")
+        prod = self.data * x[self.indices]
+        y = segment_sum(prod, self.indptr[:-1], self.indptr[1:])
+        y = y.astype(np.result_type(self.data.dtype, x.dtype), copy=False)
+        if out is None:
+            return y
+        out[...] = y
+        return out
+
+    def __matmul__(self, x):
+        if isinstance(x, np.ndarray) and x.ndim == 1:
+            return self.matvec(x)
+        return NotImplemented
+
+    def diagonal(self) -> np.ndarray:
+        """Main diagonal as a dense vector (zeros where unstored)."""
+        n = min(self.shape)
+        out = np.zeros(n, dtype=self.data.dtype)
+        for_rows = np.arange(self.n_rows, dtype=np.int64)
+        rows = np.repeat(for_rows, self.row_lengths())
+        mask = (rows == self.indices) & (rows < n)
+        out[rows[mask]] = self.data[mask]
+        return out
+
+    def eliminate_zeros(self, tol: float = 0.0) -> "CSRMatrix":
+        """Return a copy with entries of magnitude ``<= tol`` removed."""
+        keep = np.abs(self.data) > tol
+        rows = np.repeat(np.arange(self.n_rows, dtype=np.int64),
+                         self.row_lengths())[keep]
+        indptr = np.zeros(self.n_rows + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CSRMatrix(indptr, self.indices[keep], self.data[keep],
+                         self.shape, check=False)
+
+    def get(self, i: int, j: int) -> float:
+        """Value at ``(i, j)`` (0.0 when unstored). O(log row length)."""
+        cols, vals = self.row_slice(i)
+        k = np.searchsorted(cols, j)
+        if k < cols.shape[0] and cols[k] == j:
+            return float(vals[k])
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+                f"dtype={self.data.dtype})")

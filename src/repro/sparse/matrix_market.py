@@ -1,0 +1,119 @@
+"""Matrix Market (``.mtx``) reader/writer.
+
+The paper's dataset is 107 SPD matrices from the SuiteSparse collection,
+which ships in Matrix Market exchange format.  This module implements the
+coordinate real/integer/pattern subset (general and symmetric) so that the
+pipeline runs unmodified on the original files when they are available;
+the synthetic registry in :mod:`repro.datasets` is the offline stand-in.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import MatrixMarketError
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_BANNER = "%%MatrixMarket"
+
+
+def _open_text(path: str | Path):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="ascii")
+    return open(path, "r", encoding="ascii")
+
+
+def read_matrix_market(path: str | Path, *, dtype=np.float64) -> CSRMatrix:
+    """Read a Matrix Market coordinate file into a CSR matrix.
+
+    Supports ``real``, ``integer`` and ``pattern`` fields with ``general``,
+    ``symmetric`` or ``skew-symmetric`` symmetry.  Symmetric storage is
+    expanded to full form (diagonal entries are not duplicated).  Pattern
+    entries get the value 1.0.  ``.gz`` files are decompressed on the fly.
+    """
+    with _open_text(path) as fh:
+        header = fh.readline()
+        if not header.startswith(_BANNER):
+            raise MatrixMarketError(f"missing MatrixMarket banner in {path}")
+        parts = header.strip().split()
+        if len(parts) < 5:
+            raise MatrixMarketError(f"malformed banner: {header!r}")
+        _, obj, fmt, field, symmetry = (p.lower() for p in parts[:5])
+        if obj != "matrix" or fmt != "coordinate":
+            raise MatrixMarketError(
+                f"only 'matrix coordinate' files are supported, got "
+                f"{obj!r} {fmt!r}")
+        if field not in ("real", "integer", "pattern"):
+            raise MatrixMarketError(f"unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric", "skew-symmetric"):
+            raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+        # Skip comment lines.
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        dims = line.split()
+        if len(dims) != 3:
+            raise MatrixMarketError(f"malformed size line: {line!r}")
+        n, m, nnz = (int(x) for x in dims)
+        body = fh.read()
+
+    cols_per_entry = 2 if field == "pattern" else 3
+    try:
+        flat = np.array(body.split(), dtype=np.float64)
+    except ValueError as exc:
+        raise MatrixMarketError(f"non-numeric entry in {path}") from exc
+    if flat.size != nnz * cols_per_entry:
+        raise MatrixMarketError(
+            f"expected {nnz} entries of {cols_per_entry} fields, got "
+            f"{flat.size} numbers")
+    table = flat.reshape(nnz, cols_per_entry)
+    rows = table[:, 0].astype(np.int64) - 1
+    cols = table[:, 1].astype(np.int64) - 1
+    if field == "pattern":
+        vals = np.ones(nnz, dtype=dtype)
+    else:
+        vals = table[:, 2].astype(dtype)
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        rows = np.concatenate([rows, cols[off]])
+        cols2 = np.concatenate([cols, table[:, 0].astype(np.int64)[off] - 1])
+        vals = np.concatenate([vals, (sign * table[off, 2]).astype(dtype)
+                               if field != "pattern"
+                               else np.full(off.sum(), sign, dtype=dtype)])
+        cols = cols2
+    return COOMatrix(rows, cols, vals, (n, m)).tocsr()
+
+
+def write_matrix_market(path: str | Path, a: CSRMatrix, *,
+                        symmetric: bool = False,
+                        comment: str | None = None) -> None:
+    """Write *a* in Matrix Market coordinate real format.
+
+    When ``symmetric=True`` only the lower triangle is emitted with the
+    ``symmetric`` qualifier (the caller is responsible for *a* actually
+    being symmetric).
+    """
+    path = Path(path)
+    coo = a.tocoo()
+    rows, cols, vals = coo.row, coo.col, coo.data
+    if symmetric:
+        keep = rows >= cols
+        rows, cols, vals = rows[keep], cols[keep], vals[keep]
+    sym = "symmetric" if symmetric else "general"
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(f"%%MatrixMarket matrix coordinate real {sym}\n")
+        if comment:
+            for ln in comment.splitlines():
+                fh.write(f"% {ln}\n")
+        fh.write(f"{a.shape[0]} {a.shape[1]} {rows.size}\n")
+        for r, c, v in zip(rows + 1, cols + 1, vals):
+            fh.write(f"{r} {c} {float(v):.17g}\n")

@@ -1,0 +1,77 @@
+"""Reverse Cuthill–McKee reordering.
+
+Bandwidth-reducing orderings interact strongly with wavefront counts: a
+banded matrix has long dependence chains, which is exactly the regime where
+the paper's sparsification pays off.  RCM is provided both as a dataset
+preprocessing option and for the ablation studies that vary dependence-chain
+length independently of the numerics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .csr import CSRMatrix
+
+__all__ = ["rcm_ordering", "bandwidth"]
+
+
+def bandwidth(a: CSRMatrix) -> int:
+    """Maximum of ``|i - j|`` over stored entries."""
+    if a.nnz == 0:
+        return 0
+    rows = np.repeat(np.arange(a.n_rows, dtype=np.int64), a.row_lengths())
+    return int(np.abs(rows - a.indices).max())
+
+
+def rcm_ordering(a: CSRMatrix) -> np.ndarray:
+    """Reverse Cuthill–McKee permutation of a structurally symmetric matrix.
+
+    Returns ``perm`` such that ``permute(a, perm)`` has (typically) reduced
+    bandwidth.  ``perm[k]`` is the original row placed at position *k*.
+    Works per connected component; pseudo-peripheral start vertices are
+    chosen as minimum-degree vertices, the standard cheap heuristic.
+    """
+    n = a.n_rows
+    if a.shape[0] != a.shape[1]:
+        raise ShapeError("RCM requires a square matrix")
+    # Symmetrize the pattern so the traversal sees an undirected graph.
+    at = a.transpose()
+    degree = np.zeros(n, dtype=np.int64)
+
+    # Build adjacency as the union of row patterns of A and A^T.
+    def neighbors(i: int) -> np.ndarray:
+        c1, _ = a.row_slice(i)
+        c2, _ = at.row_slice(i)
+        nb = np.union1d(c1, c2)
+        return nb[nb != i]
+
+    for i in range(n):
+        degree[i] = neighbors(i).shape[0]
+
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    remaining = np.argsort(degree, kind="stable")  # min-degree first
+    ptr = 0
+    while len(order) < n:
+        # Next unvisited minimum-degree vertex starts a component.
+        while visited[remaining[ptr]]:
+            ptr += 1
+        start = int(remaining[ptr])
+        visited[start] = True
+        queue = [start]
+        order.append(start)
+        head = len(order) - 1
+        while head < len(order):
+            v = order[head]
+            head += 1
+            nb = neighbors(v)
+            nb = nb[~visited[nb]]
+            if nb.size:
+                nb = nb[np.argsort(degree[nb], kind="stable")]
+                visited[nb] = True
+                order.extend(int(x) for x in nb)
+        del queue
+    perm = np.array(order[::-1], dtype=np.int64)
+    return perm

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite.
+
+SciPy is used strictly as an *oracle* (reference implementation) — the
+library under test never imports it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSRMatrix, random_spd, stencil_poisson_2d
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dense() -> np.ndarray:
+    """The 4×4 lower-triangular example of Figure 1a of the paper."""
+    return np.array([
+        [2.0, 0.0, 0.0, 0.0],
+        [0.0, 3.0, 0.0, 0.0],
+        [1.0, 0.0, 4.0, 0.0],
+        [5.0, 0.0, 6.0, 7.0],
+    ])
+
+
+@pytest.fixture
+def fig1_lower(small_dense) -> CSRMatrix:
+    return CSRMatrix.from_dense(small_dense)
+
+
+@pytest.fixture
+def poisson16() -> CSRMatrix:
+    """16×16-grid 2-D Laplacian (order 256), the workhorse SPD matrix."""
+    return stencil_poisson_2d(16)
+
+
+@pytest.fixture
+def spd_random() -> CSRMatrix:
+    """Random diagonally dominant SPD matrix (order 120)."""
+    return random_spd(120, density=0.05, seed=3)
+
+
+def random_csr(rng: np.random.Generator, n: int, m: int,
+               density: float = 0.1) -> CSRMatrix:
+    """Helper: random CSR with the given density (importable by tests)."""
+    dense = rng.random((n, m))
+    dense[dense > density] = 0.0
+    return CSRMatrix.from_dense(dense)

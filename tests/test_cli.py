@@ -1,0 +1,75 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.sparse import stencil_poisson_2d, write_matrix_market
+
+
+class TestDevicesCommand:
+    def test_lists_presets(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        for name in ("A100", "V100", "EPYC-7413"):
+            assert name in out
+
+
+class TestDatasetsCommand:
+    def test_lists_registry(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "107 matrices" in out
+        assert "thermal_900_s100" in out
+
+
+class TestSolveCommand:
+    def test_solves_mtx(self, tmp_path, capsys):
+        a = stencil_poisson_2d(12)
+        path = tmp_path / "sys.mtx"
+        write_matrix_market(path, a, symmetric=True)
+        rc = main(["solve", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged=True" in out
+
+    def test_symmetrizes_general_input(self, tmp_path, capsys):
+        a = stencil_poisson_2d(8)
+        path = tmp_path / "gen.mtx"
+        write_matrix_market(path, a, symmetric=False)
+        rc = main(["solve", str(path)])
+        assert rc == 0
+
+    def test_iluk_option(self, tmp_path, capsys):
+        a = stencil_poisson_2d(10)
+        path = tmp_path / "k.mtx"
+        write_matrix_market(path, a, symmetric=True)
+        rc = main(["solve", str(path), "--precond", "iluk", "--k", "2"])
+        assert rc == 0
+
+
+class TestSuiteCommand:
+    def test_quick_suite(self, capsys):
+        rc = main(["suite", "--limit", "2", "--fast", "--quiet"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "gmean per-iteration speedup" in out
+
+    def test_category_filter(self, capsys):
+        rc = main(["suite", "--category", "thermal", "--limit", "1",
+                   "--fast", "--quiet"])
+        assert rc == 0
+
+    def test_empty_selection_fails(self, capsys):
+        rc = main(["suite", "--category", "nope", "--fast", "--quiet"])
+        assert rc == 2
+
+
+class TestArgparseBehaviour:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_precond_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["solve", "x.mtx", "--precond", "amg"])

@@ -1,0 +1,171 @@
+"""Tests for Algorithm 2 (wavefront-aware sparsification), the SPCG
+driver, and the oracle selector."""
+
+import numpy as np
+import pytest
+
+from repro.core import (oracle_select, spcg, sparsify_magnitude,
+                        wavefront_aware_sparsify)
+from repro.core.spcg import make_preconditioner
+from repro.graph import wavefront_count
+from repro.machine import A100
+from repro.precond import ILU0Preconditioner
+from repro.sparse import CSRMatrix, stencil_poisson_2d
+from repro.solvers import StoppingCriterion
+
+
+def front_matrix(side=24, n_fronts=1, weak=1e-4, seed=0):
+    """Grid Laplacian with *n_fronts* weak anti-diagonal interfaces —
+    sparsification severs them and provably reduces wavefronts."""
+    from repro.datasets.generators import (_grid_edges_2d, _spd_from_edges)
+
+    rng = np.random.default_rng(seed)
+    i, j, _ = _grid_edges_2d(side, side)
+    # Wide magnitude spread: budget that overflows the weak fronts drops
+    # only mildly-small couplings, keeping the safety indicator low.
+    w = rng.lognormal(0.0, 1.0, size=i.shape[0])
+    s = np.arange(side * side) // side + np.arange(side * side) % side
+    smax = 2 * (side - 1)
+    for f in range(1, n_fronts + 1):
+        c = smax * f / (n_fronts + 1)
+        crossing = (s[i] < c) != (s[j] < c)
+        w = np.where(crossing, weak * w, w)
+    return _spd_from_edges(i, j, w, side * side, dominance=0.02)
+
+
+class TestWavefrontAwareSparsify:
+    def test_selects_effective_ratio(self):
+        a = front_matrix()
+        d = wavefront_aware_sparsify(a)
+        assert d.fallback is None
+        w_new = wavefront_count(d.a_hat)
+        assert w_new < d.w_original
+
+    def test_uniform_matrix_falls_back(self):
+        # Near-uniform magnitudes: the indicator rejects everything →
+        # line 6 of Algorithm 2 (most aggressive candidate).
+        a = stencil_poisson_2d(16)
+        d = wavefront_aware_sparsify(a, tau=0.01)
+        assert d.fallback == "unsafe→max"
+        assert d.chosen_ratio == 10.0
+
+    def test_safe_but_ineffective_picks_min(self):
+        # Huge ω: nothing reduces enough → minimal perturbation (1 %).
+        a = front_matrix()
+        d = wavefront_aware_sparsify(a, omega=99.0)
+        assert d.fallback == "ineffective→min"
+        assert d.chosen_ratio == 1.0
+
+    def test_tau_infinite_accepts_all(self):
+        a = front_matrix()
+        d = wavefront_aware_sparsify(a, tau=float("inf"), omega=0.0)
+        # ω=0: the first (most aggressive) candidate wins immediately.
+        assert d.chosen_ratio == 10.0
+        assert d.fallback is None
+
+    def test_candidate_reports_ordered(self):
+        a = stencil_poisson_2d(12)
+        d = wavefront_aware_sparsify(a)
+        ratios = [c.ratio_percent for c in d.candidates]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_decomposition_consistency(self):
+        a = front_matrix()
+        d = wavefront_aware_sparsify(a)
+        from repro.sparse import add
+
+        np.testing.assert_allclose(
+            add(d.result.a_hat, d.result.s).to_dense(), a.to_dense(),
+            atol=1e-14)
+
+    def test_ratio_ordering_enforced(self):
+        a = front_matrix()
+        with pytest.raises(ValueError):
+            wavefront_aware_sparsify(a, ratios=(1.0, 5.0, 10.0))
+        with pytest.raises(ValueError):
+            wavefront_aware_sparsify(a, ratios=())
+        with pytest.raises(ValueError):
+            wavefront_aware_sparsify(a, ratios=(120.0, 5.0))
+
+    def test_extended_ratio_set(self):
+        a = front_matrix()
+        d = wavefront_aware_sparsify(a, ratios=(50.0, 20.0, 15.0, 10.0,
+                                                5.0, 1.0, 0.5))
+        assert d.chosen_ratio in (50.0, 20.0, 15.0, 10.0, 5.0, 1.0, 0.5)
+
+    def test_exact_indicator_mode(self):
+        a = front_matrix(side=12)
+        d = wavefront_aware_sparsify(a, exact_indicator=True)
+        assert d.chosen_ratio > 0
+
+
+class TestSPCGDriver:
+    def test_solves_correctly(self):
+        a = front_matrix()
+        x_true = np.linspace(0, 1, a.n_rows)
+        b = a.matvec(x_true)
+        res = spcg(a, b)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, atol=1e-6)
+
+    def test_preconditioner_built_on_sparsified(self):
+        a = front_matrix()
+        res = spcg(a, a.matvec(np.ones(a.n_rows)))
+        m_levels = sum(res.preconditioner.apply_levels())
+        base_levels = sum(ILU0Preconditioner(a).apply_levels())
+        assert m_levels < base_levels
+
+    def test_iluk_variant(self):
+        a = front_matrix(side=16)
+        res = spcg(a, a.matvec(np.ones(a.n_rows)), preconditioner="iluk",
+                   k=2)
+        assert res.converged
+
+    def test_ic0_and_jacobi_variants(self):
+        a = front_matrix(side=12)
+        b = a.matvec(np.ones(a.n_rows))
+        assert spcg(a, b, preconditioner="ic0").converged
+        assert spcg(a, b, preconditioner="jacobi",
+                    criterion=StoppingCriterion(rtol=1e-10, atol=0.0,
+                                                max_iters=2000)).converged
+
+    def test_unknown_preconditioner(self):
+        a = front_matrix(side=8)
+        with pytest.raises(ValueError):
+            spcg(a, np.ones(a.n_rows), preconditioner="amg")
+
+    def test_make_preconditioner_factory(self, poisson16):
+        for kind in ("ilu0", "iluk", "ic0", "jacobi"):
+            m = make_preconditioner(poisson16, kind, k=1)
+            assert m.n == poisson16.n_rows
+
+    def test_result_properties(self):
+        a = front_matrix(side=12)
+        res = spcg(a, a.matvec(np.ones(a.n_rows)))
+        assert res.chosen_ratio == res.decision.chosen_ratio
+        assert res.x is res.solve.x
+
+
+class TestOracle:
+    def test_picks_fastest_candidate(self):
+        a = front_matrix()
+        choice = oracle_select(
+            a, A100,
+            lambda m: ILU0Preconditioner(m, raise_on_zero_pivot=False))
+        assert choice.ratio_percent in (1.0, 5.0, 10.0)
+        assert choice.per_iteration_seconds == min(choice.all_times.values())
+
+    def test_oracle_beats_or_matches_everything(self):
+        a = front_matrix()
+        choice = oracle_select(
+            a, A100,
+            lambda m: ILU0Preconditioner(m, raise_on_zero_pivot=False))
+        for t, sec in choice.all_times.items():
+            assert choice.per_iteration_seconds <= sec
+
+    def test_failure_of_all_candidates(self, poisson16):
+        def broken(_m):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            oracle_select(poisson16, A100, broken)

@@ -1,0 +1,138 @@
+"""Tests for magnitude sparsification and the convergence indicators."""
+
+import numpy as np
+import pytest
+
+from repro.core import (condition_number_proxy, convergence_indicator,
+                        exact_condition_number, exact_inverse_norm,
+                        inverse_norm_estimate, sparsify_magnitude)
+from repro.errors import NotSymmetricError, ShapeError
+from repro.sparse import CSRMatrix, add, is_symmetric, random_spd
+
+
+class TestSparsifyMagnitude:
+    def test_decomposition_exact(self, spd_random):
+        res = sparsify_magnitude(spd_random, 10.0)
+        back = add(res.a_hat, res.s)
+        np.testing.assert_allclose(back.to_dense(), spd_random.to_dense(),
+                                   atol=1e-15)
+
+    def test_diagonal_never_dropped(self, spd_random):
+        res = sparsify_magnitude(spd_random, 100.0)
+        np.testing.assert_allclose(res.a_hat.diagonal(),
+                                   spd_random.diagonal())
+        assert np.all(res.s.diagonal() == 0.0)
+
+    def test_symmetry_preserved(self, spd_random):
+        res = sparsify_magnitude(spd_random, 10.0)
+        assert is_symmetric(res.a_hat, tol=1e-14)
+        assert is_symmetric(res.s, tol=1e-14)
+
+    def test_drops_smallest_magnitudes(self):
+        dense = np.diag(np.full(4, 10.0))
+        dense[0, 1] = dense[1, 0] = 0.001   # the weakest pair
+        dense[2, 3] = dense[3, 2] = 5.0
+        a = CSRMatrix.from_dense(dense)
+        res = sparsify_magnitude(a, 25.0)  # budget = 2 entries = 1 pair
+        assert res.dropped_nnz == 2
+        assert res.a_hat.get(0, 1) == 0.0
+        assert res.a_hat.get(2, 3) == 5.0
+        assert res.s.get(0, 1) == 0.001
+
+    def test_zero_ratio_identity(self, spd_random):
+        res = sparsify_magnitude(spd_random, 0.0)
+        assert res.dropped_nnz == 0
+        assert res.s.nnz == 0
+        np.testing.assert_allclose(res.a_hat.to_dense(),
+                                   spd_random.to_dense())
+
+    def test_achieved_close_to_requested(self, poisson16):
+        res = sparsify_magnitude(poisson16, 10.0)
+        # Pair dropping rounds down by at most one pair.
+        assert res.achieved_percent <= 10.0
+        assert res.achieved_percent >= 10.0 - 100 * 2 / poisson16.nnz
+
+    def test_ratio_validation(self, spd_random):
+        for bad in (-1.0, 101.0):
+            with pytest.raises(ValueError):
+                sparsify_magnitude(spd_random, bad)
+
+    def test_rectangular_rejected(self, rng):
+        from conftest import random_csr
+
+        with pytest.raises(ShapeError):
+            sparsify_magnitude(random_csr(rng, 3, 5), 10.0)
+
+    def test_require_symmetric_flag(self):
+        a = CSRMatrix.from_dense(np.array([[2.0, 1.0], [0.0, 2.0]]))
+        with pytest.raises(NotSymmetricError):
+            sparsify_magnitude(a, 10.0, require_symmetric=True)
+
+    def test_monotone_in_ratio(self, spd_random):
+        d5 = sparsify_magnitude(spd_random, 5.0).dropped_nnz
+        d10 = sparsify_magnitude(spd_random, 10.0).dropped_nnz
+        d50 = sparsify_magnitude(spd_random, 50.0).dropped_nnz
+        assert d5 <= d10 <= d50
+
+    def test_dropping_everything_leaves_diagonal(self, spd_random):
+        res = sparsify_magnitude(spd_random, 100.0)
+        dense = res.a_hat.to_dense()
+        np.testing.assert_allclose(dense, np.diag(np.diag(dense)))
+
+
+class TestIndicators:
+    def test_condition_proxy_formula(self, poisson16):
+        from repro.sparse import norm_inf
+
+        expect = norm_inf(poisson16) / poisson16.diagonal().min()
+        assert condition_number_proxy(poisson16) == pytest.approx(expect)
+
+    def test_condition_proxy_nonpositive_diag(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 0.5], [0.5, -1.0]]))
+        assert condition_number_proxy(a) == float("inf")
+
+    def test_proxy_vs_exact_same_order(self, poisson16):
+        # The proxy should be within a couple orders of magnitude of the
+        # true condition number for a benign SPD matrix.
+        proxy = condition_number_proxy(poisson16)
+        exact = exact_condition_number(poisson16)
+        assert 1e-3 < proxy / exact < 1e3
+
+    def test_inverse_norm_estimate_reasonable(self, poisson16):
+        est = inverse_norm_estimate(poisson16)
+        exact = exact_inverse_norm(poisson16)
+        assert 1e-3 < est / exact < 1e3
+
+    def test_exact_inverse_norm(self):
+        a = CSRMatrix.from_dense(np.diag([2.0, 4.0]))
+        assert exact_inverse_norm(a) == pytest.approx(0.5)
+        assert exact_condition_number(a) == pytest.approx(2.0)
+
+    def test_singular_exact_norms(self):
+        # Numerically singular: the smallest singular value is at round-off
+        # scale, so the exact norms blow up (or overflow to inf).
+        a = CSRMatrix.from_dense(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        assert exact_inverse_norm(a) > 1e12
+        assert exact_condition_number(a) > 1e12
+
+    def test_indicator_zero_when_nothing_dropped(self, spd_random):
+        res = sparsify_magnitude(spd_random, 0.0)
+        assert convergence_indicator(res.a_hat, res.s) == 0.0
+
+    def test_indicator_grows_with_ratio(self, spd_random):
+        vals = []
+        for t in (1.0, 10.0, 50.0):
+            res = sparsify_magnitude(spd_random, t)
+            vals.append(convergence_indicator(res.a_hat, res.s))
+        assert vals[0] <= vals[1] <= vals[2]
+
+    def test_exact_mode(self, poisson16):
+        res = sparsify_magnitude(poisson16, 5.0)
+        approx = convergence_indicator(res.a_hat, res.s)
+        exact = convergence_indicator(res.a_hat, res.s, exact=True)
+        assert exact > 0
+        assert approx > 0
+
+    def test_indicator_shape_mismatch(self, poisson16, spd_random):
+        with pytest.raises(ShapeError):
+            convergence_indicator(poisson16, spd_random)

@@ -1,0 +1,77 @@
+"""Smoke tests: every example script must run to completion.
+
+These execute the example mains in-process (fast paths only) so the
+documented entry points cannot rot.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+sys.path.insert(0, str(EXAMPLES))
+
+
+def _run(name: str, argv: list[str] | None = None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "portability_study.py",
+    "drop_strategies.py",
+])
+def test_example_runs(script, capsys):
+    _run(script)
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report
+
+
+def test_suitesparse_runner(tmp_path, capsys):
+    from repro.sparse import stencil_poisson_2d, write_matrix_market
+
+    path = tmp_path / "sys.mtx"
+    write_matrix_market(path, stencil_poisson_2d(10), symmetric=True)
+    with pytest.raises(SystemExit) as exc:
+        _run("suitesparse_runner.py", [str(path)])
+    assert exc.value.code == 0
+    assert "per-iteration speedup" in capsys.readouterr().out
+
+
+def test_heat_equation_small(monkeypatch, capsys):
+    """Run the heat example's building blocks at a reduced size."""
+    import heat_equation as he
+
+    a = he.build_heat_operator(16, 0.05)
+    assert a.n_rows == 256
+    from repro.sparse import is_symmetric
+
+    assert is_symmetric(a, tol=1e-12)
+
+
+def test_circuit_example_physics(capsys):
+    """The circuit example's conservation check at a reduced size."""
+    import numpy as np
+
+    from repro import pcg, ILU0Preconditioner, StoppingCriterion
+    from repro.datasets import generate
+
+    g = generate("circuit", 500, seed=11)
+    rng = np.random.default_rng(1)
+    i_vec = np.zeros(g.n_rows)
+    src = rng.choice(g.n_rows, size=4, replace=False)
+    i_vec[src] = 1e-3
+    res = pcg(g, i_vec, ILU0Preconditioner(g),
+              criterion=StoppingCriterion(rtol=1e-10, atol=0.0))
+    assert res.converged
+    p_in = float(i_vec @ res.x)
+    p_diss = float(res.x @ g.matvec(res.x))
+    assert p_in == pytest.approx(p_diss, rel=1e-6)

@@ -1,0 +1,217 @@
+"""Tests for the extension modules: level aggregation, SpGEMM,
+validation utilities, ILUT, and the τ/ω grid search."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, SingularFactorError
+from repro.graph import aggregate_levels, level_schedule
+from repro.machine import A100, time_trisolve, time_trisolve_aggregated
+from repro.precond import ILUTPreconditioner, ilut
+from repro.solvers import cg, pcg
+from repro.sparse import (CSRMatrix, check_spd, dominance_measure,
+                          gershgorin_bounds, spgemm, stencil_poisson_2d)
+from repro.sparse.ops import extract_lower
+
+from conftest import random_csr
+
+
+class TestAggregation:
+    @pytest.fixture()
+    def schedule(self):
+        return level_schedule(extract_lower(stencil_poisson_2d(16)))
+
+    def test_partition_covers_levels(self, schedule):
+        agg = aggregate_levels(schedule, max_group_rows=64)
+        agg.validate()
+        assert agg.group_sizes().sum() == schedule.n_levels
+        assert agg.group_rows().sum() == schedule.n_rows
+
+    def test_fewer_groups_than_levels(self, schedule):
+        agg = aggregate_levels(schedule, max_group_rows=64)
+        assert agg.n_groups < schedule.n_levels
+        assert agg.n_internal_syncs == schedule.n_levels - agg.n_groups
+
+    def test_budget_respected_where_possible(self, schedule):
+        agg = aggregate_levels(schedule, max_group_rows=40)
+        sizes = schedule.level_sizes
+        for g in range(agg.n_groups):
+            lo, hi = agg.group_ptr[g], agg.group_ptr[g + 1]
+            if hi - lo > 1:  # packed groups stay within budget
+                assert sizes[lo:hi].sum() <= 40
+
+    def test_budget_one_means_no_packing(self, schedule):
+        agg = aggregate_levels(schedule, max_group_rows=1)
+        assert agg.n_groups == schedule.n_levels
+
+    def test_invalid_budget(self, schedule):
+        with pytest.raises(ValueError):
+            aggregate_levels(schedule, max_group_rows=0)
+
+    def test_empty_schedule(self):
+        empty = level_schedule(CSRMatrix(np.zeros(1, dtype=np.int64),
+                                         np.array([], dtype=int),
+                                         np.array([]), (0, 0)))
+        agg = aggregate_levels(empty, max_group_rows=10)
+        assert agg.n_groups == 0
+
+    def test_aggregated_time_cheaper(self, schedule):
+        rows = schedule.level_sizes
+        nnz = rows * 3
+        t_plain = time_trisolve(A100, rows, nnz)
+        agg = aggregate_levels(schedule, max_group_rows=A100.row_slots)
+        t_agg = time_trisolve_aggregated(A100, rows, nnz, agg.group_ptr)
+        assert t_agg < t_plain
+
+    def test_aggregated_time_equal_when_unpacked(self, schedule):
+        rows = schedule.level_sizes
+        nnz = rows * 3
+        agg = aggregate_levels(schedule, max_group_rows=1)
+        t_agg = time_trisolve_aggregated(A100, rows, nnz, agg.group_ptr)
+        t_plain = time_trisolve(A100, rows, nnz)
+        assert t_agg == pytest.approx(t_plain, rel=1e-12)
+
+    def test_sync_fraction_validated(self, schedule):
+        rows = schedule.level_sizes
+        agg = aggregate_levels(schedule, max_group_rows=64)
+        with pytest.raises(ValueError):
+            time_trisolve_aggregated(A100, rows, rows, agg.group_ptr,
+                                     internal_sync_fraction=2.0)
+
+
+class TestSpGEMM:
+    def test_matches_dense(self, rng):
+        a = random_csr(rng, 15, 12)
+        b = random_csr(rng, 12, 9)
+        np.testing.assert_allclose(spgemm(a, b).to_dense(),
+                                   a.to_dense() @ b.to_dense(),
+                                   atol=1e-12)
+
+    def test_matches_scipy(self, rng):
+        sp = pytest.importorskip("scipy.sparse")
+        a = random_csr(rng, 20, 20)
+        b = random_csr(rng, 20, 20)
+        expect = (sp.csr_matrix(a.to_dense())
+                  @ sp.csr_matrix(b.to_dense())).toarray()
+        np.testing.assert_allclose(spgemm(a, b).to_dense(), expect,
+                                   atol=1e-12)
+
+    def test_result_canonical(self, rng):
+        a = random_csr(rng, 10, 10)
+        spgemm(a, a).check_format()
+
+    def test_identity(self, rng):
+        from repro.sparse import eye
+
+        a = random_csr(rng, 8, 8)
+        np.testing.assert_allclose(spgemm(a, eye(8)).to_dense(),
+                                   a.to_dense())
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            spgemm(random_csr(rng, 3, 4), random_csr(rng, 5, 3))
+
+    def test_empty_rows(self):
+        a = CSRMatrix.from_dense(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        c = spgemm(a, a)
+        np.testing.assert_allclose(c.to_dense(), np.zeros((2, 2)))
+
+
+class TestValidation:
+    def test_gershgorin_contains_spectrum(self, spd_random):
+        lo, hi = gershgorin_bounds(spd_random)
+        w = np.linalg.eigvalsh(spd_random.to_dense())
+        assert lo <= w.min() + 1e-9
+        assert hi >= w.max() - 1e-9
+
+    def test_dominant_matrix_certified(self, spd_random):
+        rep = check_spd(spd_random)
+        assert rep.certified  # strictly dominant by construction
+        assert rep.dominance > 1.0
+
+    def test_poisson_not_certified_but_plausible(self, poisson16):
+        rep = check_spd(poisson16)
+        assert not rep.certified  # Gershgorin bound is exactly 0
+        assert rep.plausible
+
+    def test_asymmetric_flagged(self):
+        a = CSRMatrix.from_dense(np.array([[2.0, 1.0], [0.0, 2.0]]))
+        rep = check_spd(a)
+        assert not rep.symmetric
+        assert not rep.certified
+
+    def test_diagonal_dominance_inf_for_diagonal(self):
+        from repro.sparse import eye
+
+        assert dominance_measure(eye(5)) == float("inf")
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ShapeError):
+            gershgorin_bounds(random_csr(rng, 2, 3))
+        with pytest.raises(ShapeError):
+            dominance_measure(random_csr(rng, 2, 3))
+
+
+class TestILUT:
+    def test_no_dropping_is_exact_lu(self, rng):
+        from repro.sparse import random_spd
+
+        a = random_spd(40, density=0.1, seed=3)
+        f = ilut(a, p=40, drop_tol=0.0)
+        np.testing.assert_allclose(f.multiply(), a.to_dense(), rtol=1e-8,
+                                   atol=1e-10)
+
+    def test_accelerates_cg(self):
+        a = stencil_poisson_2d(18)
+        b = a.matvec(np.ones(a.n_rows))
+        plain = cg(a, b)
+        prec = pcg(a, b, ILUTPreconditioner(a, p=8, drop_tol=1e-3))
+        assert prec.converged
+        assert prec.n_iters < plain.n_iters
+
+    def test_p_limits_fill(self):
+        a = stencil_poisson_2d(14)
+        f_small = ilut(a, p=2, drop_tol=0.0)
+        f_large = ilut(a, p=20, drop_tol=0.0)
+        assert f_small.nnz < f_large.nnz
+        # p bounds each row's stored entries in L and U (diag excluded).
+        assert f_small.lower.row_lengths().max() <= 2
+        assert (f_small.upper.row_lengths().max() <= 3)  # diag + p
+
+    def test_drop_tol_reduces_fill(self):
+        a = stencil_poisson_2d(14)
+        loose = ilut(a, p=50, drop_tol=1e-1)
+        tight = ilut(a, p=50, drop_tol=1e-8)
+        assert loose.nnz <= tight.nnz
+
+    def test_parameter_validation(self, poisson16):
+        with pytest.raises(ValueError):
+            ilut(poisson16, p=0)
+        with pytest.raises(ValueError):
+            ilut(poisson16, p=5, drop_tol=-1.0)
+
+    def test_singular_pivot_detected(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(SingularFactorError):
+            ilut(a, p=4, drop_tol=0.0)
+
+    def test_preconditioner_metadata(self, poisson16):
+        m = ILUTPreconditioner(poisson16, p=5)
+        assert m.n == poisson16.n_rows
+        assert m.apply_nnz() > 0
+        assert all(lv >= 1 for lv in m.apply_levels())
+
+
+class TestGridSearch:
+    def test_sweep_shape_and_best(self):
+        from repro.harness import grid_search_thresholds
+
+        res = grid_search_thresholds(
+            ["thermal_900_s100", "circuit_900_s100"],
+            taus=(0.5, 1.0), omegas=(5.0, 10.0))
+        assert len(res.points) == 4
+        best = res.best
+        assert best.gmean_speedup == max(p.gmean_speedup
+                                         for p in res.points)
+        rows = res.table_rows()
+        assert len(rows) == 4

@@ -1,0 +1,168 @@
+"""Tests for the experiment harness, suite aggregation and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.harness import (ExperimentResult, render_bar_chart,
+                           render_histogram, render_scatter, render_table,
+                           run_experiment, run_suite, select_best_k)
+from repro.machine import EPYC_7413, V100
+from repro.sparse import stencil_poisson_2d
+
+from test_core_algorithm2 import front_matrix
+
+
+class TestRunExperiment:
+    @pytest.fixture(scope="class")
+    def result(self) -> ExperimentResult:
+        return run_experiment(front_matrix(side=20), name="front20",
+                              category="thermal")
+
+    def test_baseline_and_spcg_converge(self, result):
+        assert result.baseline.converged
+        assert result.spcg.converged
+
+    def test_speedup_positive(self, result):
+        assert result.per_iteration_speedup > 1.0
+        assert np.isfinite(result.end_to_end_speedup)
+
+    def test_fixed_ratios_present(self, result):
+        assert set(result.per_ratio) == {1.0, 5.0, 10.0}
+
+    def test_oracle_at_least_spcg(self, result):
+        assert (result.oracle_per_iteration_speedup
+                >= result.per_iteration_speedup - 1e-12)
+
+    def test_wavefront_reduction_in_range(self, result):
+        assert 0.0 <= result.wavefront_reduction_ratio <= 1.0
+
+    def test_end_to_end_composition(self, result):
+        m = result.spcg
+        assert m.end_to_end_seconds == pytest.approx(
+            m.sparsify_seconds + m.factor_seconds
+            + m.n_iters * m.per_iteration_seconds)
+
+    def test_baseline_has_no_sparsify_cost(self, result):
+        assert result.baseline.sparsify_seconds == 0.0
+        assert result.spcg.sparsify_seconds > 0.0
+
+    def test_other_devices(self):
+        a = front_matrix(side=16)
+        for dev in (V100, EPYC_7413):
+            r = run_experiment(a, device=dev, run_fixed_ratios=False)
+            assert r.device == dev.name
+            assert np.isfinite(r.per_iteration_speedup)
+
+    def test_skip_fixed_ratios(self):
+        r = run_experiment(front_matrix(side=12), run_fixed_ratios=False)
+        assert r.per_ratio == {}
+        assert r.oracle is None
+        assert np.isnan(r.oracle_per_iteration_speedup)
+
+    def test_custom_rhs(self):
+        a = front_matrix(side=12)
+        rng = np.random.default_rng(0)
+        r = run_experiment(a, rhs=a.matvec(rng.standard_normal(a.n_rows)),
+                           run_fixed_ratios=False)
+        assert r.baseline.converged
+
+    def test_nonconvergent_e2e_is_nan(self):
+        from repro.solvers import StoppingCriterion
+
+        a = front_matrix(side=16)
+        crit = StoppingCriterion(atol=1e-300, max_iters=2)
+        r = run_experiment(a, criterion=crit, run_fixed_ratios=False)
+        assert not r.baseline.converged
+        assert np.isnan(r.end_to_end_speedup)
+        assert r.baseline.end_to_end_seconds == float("inf")
+
+
+class TestSelectBestK:
+    def test_returns_candidate(self):
+        a = stencil_poisson_2d(14)
+        b = a.matvec(np.ones(a.n_rows))
+        k = select_best_k(a, b, candidates=(1, 2, 3))
+        assert k in (1, 2, 3)
+
+    def test_fill_cap_falls_back_to_smallest(self):
+        a = stencil_poisson_2d(14)
+        b = a.matvec(np.ones(a.n_rows))
+        k = select_best_k(a, b, candidates=(6, 8), max_fill_ratio=1.01)
+        assert k == 6
+
+
+class TestRunSuite:
+    @pytest.fixture(scope="class")
+    def suite_result(self):
+        return run_suite(["thermal_900_s100", "circuit_900_s100",
+                          "counter_900_s100", "statmath_900_s100"])
+
+    def test_all_results_present(self, suite_result):
+        assert len(suite_result.results) == 4
+
+    def test_aggregates_finite(self, suite_result):
+        agg = suite_result.aggregates()
+        assert agg.n_matrices == 4
+        assert np.isfinite(agg.gmean_per_iteration_speedup)
+        assert 0 <= agg.percent_accelerated <= 100
+
+    def test_ratio_table_shape(self, suite_result):
+        table = suite_result.ratio_table()
+        assert set(table) == {"gmean", "percent_accelerated"}
+        assert set(table["gmean"]) == {1.0, 5.0, 10.0}
+
+    def test_vectors(self, suite_result):
+        pi = suite_result.per_iteration_speedups()
+        assert pi.size <= 4
+        x, y = suite_result.wavefront_correlation_points()
+        assert x.shape == y.shape
+
+    def test_by_category(self, suite_result):
+        cats = suite_result.by_category()
+        assert "thermal" in cats
+
+    def test_max_n_filter(self):
+        res = run_suite(["thermal_900_s100", "thermal_2500_s104"],
+                        max_n=1000, run_fixed_ratios=False)
+        assert len(res.results) == 1
+
+
+class TestRendering:
+    def test_histogram_contains_bins(self):
+        out = render_histogram(np.array([0.5, 1.2, 1.3, 4.9]),
+                               title="T")
+        assert "T" in out
+        assert "[0.00,0.25)" in out
+        assert "n=4" in out
+
+    def test_histogram_empty(self):
+        out = render_histogram(np.array([]), title="E")
+        assert "n=0" in out
+
+    def test_scatter_basic(self):
+        out = render_scatter(np.array([1e3, 1e5]), np.array([1.0, 2.0]),
+                             title="S", logx=True)
+        assert "*" in out
+        assert "(log x)" in out
+
+    def test_scatter_overlay(self):
+        out = render_scatter(np.array([1.0, 2.0]), np.array([1.0, 2.0]),
+                             title="S",
+                             overlay=(np.array([1.5]), np.array([1.5])))
+        assert "o" in out
+
+    def test_scatter_empty(self):
+        out = render_scatter(np.array([]), np.array([]), title="S")
+        assert "no data" in out
+
+    def test_bar_chart(self):
+        out = render_bar_chart(["alpha", "b"], [1.0, float("nan")],
+                               title="B")
+        assert "alpha" in out
+        assert "n/a" in out
+
+    def test_table(self):
+        out = render_table(["x", "yy"], [[1, "abc"], [2, "d"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "abc" in out

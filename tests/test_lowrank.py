@@ -1,0 +1,85 @@
+"""Tests for the HSS block-rank study (Section 4.6 reproduction)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.lowrank import block_rank_profile, hss_eligibility
+from repro.precond import ilu0
+from repro.sparse import CSRMatrix, stencil_poisson_2d
+
+
+def low_rank_offdiag_matrix(n=128, block=32, rank=2, seed=0):
+    """Dense-ish matrix whose off-diagonal blocks have exact low rank."""
+    rng = np.random.default_rng(seed)
+    dense = np.zeros((n, n))
+    for bi in range(n // block):
+        for bj in range(n // block):
+            r0, c0 = bi * block, bj * block
+            if bi == bj:
+                dense[r0:r0 + block, c0:c0 + block] = np.eye(block)
+            else:
+                u = rng.standard_normal((block, rank))
+                v = rng.standard_normal((rank, block))
+                dense[r0:r0 + block, c0:c0 + block] = u @ v
+    return CSRMatrix.from_dense(dense)
+
+
+class TestBlockRankProfile:
+    def test_detects_low_rank_blocks(self):
+        a = low_rank_offdiag_matrix()
+        prof = block_rank_profile(a, block_size=32)
+        assert prof.n_blocks == 12  # 4x4 grid minus 4 diagonal blocks
+        assert np.all(prof.ranks == 2)
+        assert prof.compressible_fraction == 1.0
+
+    def test_full_rank_blocks_not_compressible(self, rng):
+        dense = rng.standard_normal((64, 64))
+        a = CSRMatrix.from_dense(dense)
+        prof = block_rank_profile(a, block_size=32)
+        assert prof.compressible_fraction == 0.0
+
+    def test_sparse_factor_rarely_compressible(self):
+        # The paper's finding: ILU(0) factors of stencil matrices do not
+        # expose usefully low-rank off-diagonal blocks.
+        a = stencil_poisson_2d(24)
+        f = ilu0(a)
+        elig = hss_eligibility(f.upper, block_size=64)
+        assert not elig.eligible
+
+    def test_small_blocks_skipped(self):
+        a = stencil_poisson_2d(8)  # off-diag blocks carry very few nnz
+        prof = block_rank_profile(a, block_size=16, min_block_nnz=50)
+        assert prof.n_blocks == 0
+
+    def test_diagonal_matrix_no_offdiag(self):
+        from repro.sparse import eye
+
+        prof = block_rank_profile(eye(100), block_size=25)
+        assert prof.n_blocks == 0
+        assert prof.compressible_fraction == 0.0
+
+    def test_rectangular_rejected(self, rng):
+        from conftest import random_csr
+
+        with pytest.raises(ShapeError):
+            block_rank_profile(random_csr(rng, 4, 6))
+
+    def test_block_size_validation(self, poisson16):
+        with pytest.raises(ValueError):
+            block_rank_profile(poisson16, block_size=1)
+
+
+class TestHSSEligibility:
+    def test_low_rank_matrix_eligible(self):
+        a = low_rank_offdiag_matrix()
+        elig = hss_eligibility(a, block_size=32)
+        assert elig.eligible
+        assert elig.memory_saving_fraction > 0
+
+    def test_empty_profile_not_eligible(self):
+        from repro.sparse import eye
+
+        elig = hss_eligibility(eye(64), block_size=16)
+        assert not elig.eligible
+        assert elig.memory_saving_fraction == 0.0

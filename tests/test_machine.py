@@ -1,0 +1,168 @@
+"""Tests for the analytical machine model (devices, kernels, profiler)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceModelError
+from repro.machine import (A100, EPYC_7413, V100, DeviceModel,
+                           KernelProfiler, Timeline, get_device,
+                           iteration_cost, time_axpy, time_dot,
+                           time_ilu_factorization, time_sparsification,
+                           time_spmv, time_trisolve)
+from repro.precond import ILU0Preconditioner, JacobiPreconditioner
+from repro.sparse import stencil_poisson_2d
+
+
+class TestDeviceModel:
+    def test_presets_sane(self):
+        for dev in (A100, V100, EPYC_7413):
+            assert dev.peak_flops > 0
+            assert dev.mem_bandwidth > 0
+            assert dev.row_slots >= 1
+
+    def test_a100_exceeds_v100(self):
+        assert A100.peak_flops > V100.peak_flops
+        assert A100.mem_bandwidth > V100.mem_bandwidth
+        assert A100.parallel_lanes > V100.parallel_lanes
+
+    def test_lookup(self):
+        assert get_device("a100") is A100
+        assert get_device("V100") is V100
+        assert get_device("cpu") is EPYC_7413
+        with pytest.raises(DeviceModelError):
+            get_device("h100")
+
+    def test_validation(self):
+        with pytest.raises(DeviceModelError):
+            DeviceModel(name="x", kind="tpu", parallel_lanes=1,
+                        group_width=1, peak_flops=1, mem_bandwidth=1,
+                        launch_overhead=0, sync_overhead=0,
+                        min_kernel_time=0)
+        with pytest.raises(DeviceModelError):
+            DeviceModel(name="x", kind="gpu", parallel_lanes=0,
+                        group_width=1, peak_flops=1, mem_bandwidth=1,
+                        launch_overhead=0, sync_overhead=0,
+                        min_kernel_time=0)
+
+    def test_with_precision(self):
+        fp64 = A100.with_precision(8)
+        assert fp64.value_bytes == 8
+        assert fp64.peak_flops == pytest.approx(A100.peak_flops / 2)
+        with pytest.raises(DeviceModelError):
+            A100.with_precision(2)
+
+
+class TestKernelCosts:
+    def test_spmv_monotone_in_nnz(self):
+        small = time_spmv(A100, 10_000, 50_000)
+        large = time_spmv(A100, 10_000, 5_000_000)
+        assert large > small
+
+    def test_spmv_includes_launch(self):
+        assert time_spmv(A100, 1, 1) >= A100.launch_overhead
+
+    def test_dot_axpy_positive(self):
+        assert time_dot(A100, 1000) > 0
+        assert time_axpy(A100, 1000) > 0
+
+    def test_trisolve_levels_dominate_small_systems(self):
+        # Same work split over more levels must cost more (launch+sync).
+        rows = np.full(100, 10)
+        nnz = np.full(100, 50)
+        many = time_trisolve(A100, rows, nnz)
+        few = time_trisolve(A100, np.full(10, 100), np.full(10, 500))
+        assert many > few
+
+    def test_trisolve_empty_schedule(self):
+        assert time_trisolve(A100, np.array([]), np.array([])) == 0.0
+
+    def test_trisolve_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            time_trisolve(A100, np.array([1]), np.array([1, 2]))
+
+    def test_wide_levels_bandwidth_bound(self):
+        # One giant level: body dominated by memory traffic, not floors.
+        t = time_trisolve(A100, np.array([10_000_000]),
+                          np.array([100_000_000]))
+        traffic = 100e6 * 8 + 1e7 * 12
+        assert t >= traffic / A100.mem_bandwidth
+
+    def test_factorization_sequential_slower_than_parallel(self):
+        rows = np.full(50, 20)
+        nnz = np.full(50, 100)
+        par = time_ilu_factorization(A100, rows, nnz, 1e7)
+        seq = time_ilu_factorization(EPYC_7413, rows, nnz, 1e7,
+                                     sequential=True)
+        assert seq > par
+
+    def test_sparsification_cost_scales(self):
+        assert (time_sparsification(A100, 10_000_000)
+                > time_sparsification(A100, 10_000))
+
+    def test_iteration_cost_composition(self, poisson16):
+        m = ILU0Preconditioner(poisson16)
+        cost = iteration_cost(A100, poisson16, m)
+        assert cost.total == pytest.approx(
+            cost.spmv + cost.precond_fwd + cost.precond_bwd + cost.dots
+            + cost.axpys)
+        assert cost.precond == cost.precond_fwd + cost.precond_bwd
+        assert cost.precond > cost.spmv  # trisolves dominate (the paper's
+        # motivating observation, Section 2)
+
+    def test_jacobi_iteration_has_no_trisolve(self, poisson16):
+        m = JacobiPreconditioner(poisson16)
+        cost = iteration_cost(A100, poisson16, m)
+        assert cost.precond_bwd == 0.0
+        ilu_cost = iteration_cost(A100, poisson16,
+                                  ILU0Preconditioner(poisson16))
+        assert cost.total < ilu_cost.total
+
+    def test_fewer_wavefronts_cheaper_iteration(self):
+        # The paper's causal chain in one assertion: a schedule with the
+        # same rows and nonzeros but fewer levels prices cheaper.
+        rows_deep = np.full(60, 10)
+        nnz_deep = np.full(60, 40)
+        rows_shallow = np.full(20, 30)
+        nnz_shallow = np.full(20, 120)
+        assert (time_trisolve(A100, rows_shallow, nnz_shallow)
+                < time_trisolve(A100, rows_deep, nnz_deep))
+
+    def test_cpu_vs_gpu_tradeoff(self, poisson16):
+        m = ILU0Preconditioner(poisson16)
+        g = iteration_cost(A100, poisson16, m).total
+        c = iteration_cost(EPYC_7413, poisson16, m).total
+        # Small system: CPU's cheap barriers win; the GPU pays launch
+        # overhead per wavefront (why the paper needs big matrices).
+        assert c < g
+
+
+class TestTimelineProfiler:
+    def test_timeline_aggregation(self):
+        tl = Timeline()
+        tl.record("spmv", "solve", 1.0, flops=10, bytes=20)
+        tl.record("trisolve", "solve", 2.0)
+        tl.record("ilu0", "factorize", 5.0)
+        assert tl.total_seconds == pytest.approx(8.0)
+        assert tl.phase_seconds("solve") == pytest.approx(3.0)
+        assert tl.phase_flops("solve") == 10
+        assert tl.phases() == ["solve", "factorize"]
+        assert tl.summary()["total"] == pytest.approx(8.0)
+
+    def test_timeline_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Timeline().record("x", "p", -1.0)
+
+    def test_profiler_utilization_bounds(self, poisson16):
+        prof = KernelProfiler(A100)
+        u = prof.iteration_utilization(poisson16,
+                                       ILU0Preconditioner(poisson16))
+        assert 0 <= u.dram_util_percent <= 100
+        assert 0 <= u.compute_util_percent <= 100
+        assert u.seconds > 0
+        assert u.bound in ("memory", "compute", "latency")
+
+    def test_profiler_latency_bound_small_matrix(self, poisson16):
+        # A 256-row system on an A100 is overwhelmingly latency-bound.
+        u = KernelProfiler(A100).iteration_utilization(
+            poisson16, ILU0Preconditioner(poisson16))
+        assert u.bound == "latency"

@@ -1,0 +1,108 @@
+"""Tests for Jacobi, SSOR and identity preconditioners."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SingularFactorError
+from repro.precond import (IdentityPreconditioner, JacobiPreconditioner,
+                           SSORPreconditioner)
+from repro.solvers import cg, pcg
+from repro.sparse import CSRMatrix
+
+
+class TestIdentity:
+    def test_apply_is_copy(self, rng):
+        m = IdentityPreconditioner(5)
+        r = rng.standard_normal(5)
+        z = m.apply(r)
+        np.testing.assert_array_equal(z, r)
+        assert z is not r
+
+    def test_out_param(self, rng):
+        m = IdentityPreconditioner(4)
+        r = rng.standard_normal(4)
+        out = np.empty(4)
+        assert m.apply(r, out=out) is out
+
+    def test_metadata(self):
+        m = IdentityPreconditioner(7)
+        assert m.n == 7
+        assert m.apply_nnz() == 0
+        assert m.apply_levels() == (0, 0)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            IdentityPreconditioner(-1)
+
+    def test_callable(self, rng):
+        m = IdentityPreconditioner(3)
+        r = rng.standard_normal(3)
+        np.testing.assert_array_equal(m(r), r)
+
+
+class TestJacobi:
+    def test_apply(self, poisson16, rng):
+        m = JacobiPreconditioner(poisson16)
+        r = rng.standard_normal(poisson16.n_rows)
+        np.testing.assert_allclose(m.apply(r),
+                                   r / np.diag(poisson16.to_dense()))
+
+    def test_zero_diagonal_rejected(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(SingularFactorError):
+            JacobiPreconditioner(a)
+
+    def test_accelerates_cg_on_scaled_system(self, rng):
+        # Badly scaled diagonal: Jacobi fixes it, plain CG crawls.
+        n = 80
+        scale = np.logspace(0, 4, n)
+        dense = np.diag(scale) + 0.1 * np.eye(n, k=1) + 0.1 * np.eye(n, k=-1)
+        a = CSRMatrix.from_dense(dense)
+        b = a.matvec(np.ones(n))
+        plain = cg(a, b)
+        jac = pcg(a, b, JacobiPreconditioner(a))
+        assert jac.n_iters < plain.n_iters
+
+    def test_out_param(self, poisson16, rng):
+        m = JacobiPreconditioner(poisson16)
+        r = rng.standard_normal(poisson16.n_rows)
+        out = np.empty_like(r)
+        assert m.apply(r, out=out) is out
+
+
+class TestSSOR:
+    def test_apply_matches_dense_formula(self, poisson16, rng):
+        omega = 1.2
+        m = SSORPreconditioner(poisson16, omega=omega)
+        dense = poisson16.to_dense()
+        d = np.diag(np.diag(dense))
+        low = np.tril(dense, -1)
+        up = np.triu(dense, 1)
+        # M = ω/(2-ω) · (D/ω + L) (D/ω)^-1 (D/ω + U)
+        m_dense = (omega / (2 - omega)) * (d / omega + low) @ \
+            np.linalg.inv(d / omega) @ (d / omega + up)
+        r = rng.standard_normal(poisson16.n_rows)
+        np.testing.assert_allclose(m.apply(r),
+                                   np.linalg.solve(m_dense, r), atol=1e-8)
+
+    def test_omega_range_validated(self, poisson16):
+        for bad in (0.0, 2.0, -1.0, 2.5):
+            with pytest.raises(ValueError):
+                SSORPreconditioner(poisson16, omega=bad)
+
+    def test_accelerates_cg(self, poisson16):
+        b = poisson16.matvec(np.ones(poisson16.n_rows))
+        plain = cg(poisson16, b)
+        ssor = pcg(poisson16, b, SSORPreconditioner(poisson16))
+        assert ssor.converged
+        assert ssor.n_iters < plain.n_iters
+
+    def test_wavefront_structure_matches_matrix(self, poisson16):
+        m = SSORPreconditioner(poisson16)
+        # SSOR sweeps run on tril(A)/triu(A): same wavefronts as ILU(0).
+        assert m.apply_levels() == (31, 31)
+
+    def test_zero_diagonal_rejected(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(SingularFactorError):
+            SSORPreconditioner(a)

@@ -1,0 +1,152 @@
+"""Tests for the triangular solvers: sequential reference vs wavefront
+executor vs dense/SciPy oracles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (NotTriangularError, ShapeError,
+                          SingularFactorError)
+from repro.graph import level_schedule
+from repro.precond import (ScheduledTriangularSolver,
+                           solve_lower_sequential, solve_upper_sequential)
+from repro.sparse import CSRMatrix
+
+sla = pytest.importorskip("scipy.linalg")
+
+
+def random_lower(rng, n, density=0.3, unit=False):
+    dense = rng.standard_normal((n, n))
+    mask = rng.random((n, n)) > density
+    dense[mask] = 0.0
+    dense = np.tril(dense, -1)
+    np.fill_diagonal(dense, 1.0 if unit else rng.random(n) + 0.5)
+    return dense
+
+
+class TestSequentialSolvers:
+    def test_lower_matches_scipy(self, rng):
+        dense = random_lower(rng, 25)
+        b = rng.standard_normal(25)
+        x = solve_lower_sequential(CSRMatrix.from_dense(dense), b)
+        np.testing.assert_allclose(x, sla.solve_triangular(dense, b,
+                                                           lower=True),
+                                   rtol=1e-10)
+
+    def test_upper_matches_scipy(self, rng):
+        dense = random_lower(rng, 25).T.copy()
+        b = rng.standard_normal(25)
+        x = solve_upper_sequential(CSRMatrix.from_dense(dense), b)
+        np.testing.assert_allclose(x, sla.solve_triangular(dense, b,
+                                                           lower=False),
+                                   rtol=1e-10)
+
+    def test_unit_diagonal_lower(self, rng):
+        dense = random_lower(rng, 15, unit=True)
+        strict = np.tril(dense, -1)  # storage without the diagonal
+        b = rng.standard_normal(15)
+        x = solve_lower_sequential(CSRMatrix.from_dense(strict), b,
+                                   unit_diagonal=True)
+        np.testing.assert_allclose(dense @ x, b, atol=1e-10)
+
+    def test_missing_pivot_raises(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        with pytest.raises(SingularFactorError) as ei:
+            solve_lower_sequential(a, np.ones(2))
+        assert ei.value.row == 1
+
+    def test_not_triangular_raises(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 2.0], [0.0, 1.0]]))
+        with pytest.raises(NotTriangularError):
+            solve_lower_sequential(a, np.ones(2))
+
+    def test_shape_checks(self, fig1_lower):
+        with pytest.raises(ShapeError):
+            solve_lower_sequential(fig1_lower, np.ones(7))
+
+
+class TestScheduledSolver:
+    @pytest.mark.parametrize("n", [1, 2, 17, 64, 200])
+    def test_matches_sequential_lower(self, rng, n):
+        dense = random_lower(rng, n)
+        a = CSRMatrix.from_dense(dense)
+        b = rng.standard_normal(n)
+        solver = ScheduledTriangularSolver(a, kind="lower")
+        np.testing.assert_allclose(solver.solve(b),
+                                   solve_lower_sequential(a, b),
+                                   rtol=1e-9, atol=1e-9)
+
+    @pytest.mark.parametrize("n", [2, 31, 100])
+    def test_matches_sequential_upper(self, rng, n):
+        dense = random_lower(rng, n).T.copy()
+        a = CSRMatrix.from_dense(dense)
+        b = rng.standard_normal(n)
+        solver = ScheduledTriangularSolver(a, kind="upper")
+        np.testing.assert_allclose(solver.solve(b),
+                                   solve_upper_sequential(a, b),
+                                   rtol=1e-9, atol=1e-9)
+
+    def test_unit_diagonal(self, rng):
+        dense = random_lower(rng, 40, unit=True)
+        strict = CSRMatrix.from_dense(np.tril(dense, -1))
+        b = rng.standard_normal(40)
+        solver = ScheduledTriangularSolver(strict, kind="lower",
+                                           unit_diagonal=True)
+        np.testing.assert_allclose(dense @ solver.solve(b), b, atol=1e-9)
+
+    def test_residual_of_solution(self, rng):
+        dense = random_lower(rng, 80)
+        a = CSRMatrix.from_dense(dense)
+        b = rng.standard_normal(80)
+        x = ScheduledTriangularSolver(a, kind="lower").solve(b)
+        np.testing.assert_allclose(a.matvec(x), b, atol=1e-8)
+
+    def test_reuses_precomputed_schedule(self, rng):
+        dense = random_lower(rng, 30)
+        a = CSRMatrix.from_dense(dense)
+        sched = level_schedule(a, kind="lower")
+        solver = ScheduledTriangularSolver(a, kind="lower", schedule=sched)
+        assert solver.schedule is sched
+
+    def test_zero_pivot_rejected_at_construction(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 0.0], [2.0, 0.0]]))
+        with pytest.raises(SingularFactorError):
+            ScheduledTriangularSolver(a, kind="lower")
+
+    def test_kernel_profile_sums(self, rng):
+        dense = random_lower(rng, 50)
+        a = CSRMatrix.from_dense(dense)
+        solver = ScheduledTriangularSolver(a, kind="lower")
+        rows, nnz = solver.kernel_profile()
+        assert rows.sum() == 50
+        assert nnz.sum() == a.nnz  # off-diag + one diag op per row
+        assert len(rows) == solver.n_levels
+
+    def test_n_levels_matches_schedule(self, fig1_lower):
+        solver = ScheduledTriangularSolver(fig1_lower, kind="lower")
+        assert solver.n_levels == 3
+
+    def test_out_parameter(self, rng):
+        dense = random_lower(rng, 12)
+        a = CSRMatrix.from_dense(dense)
+        b = rng.standard_normal(12)
+        out = np.empty(12)
+        res = ScheduledTriangularSolver(a, kind="lower").solve(b, out=out)
+        assert res is out
+
+    def test_float32_path(self, rng):
+        dense = random_lower(rng, 30).astype(np.float32)
+        a = CSRMatrix.from_dense(dense)
+        b = rng.standard_normal(30).astype(np.float32)
+        x = ScheduledTriangularSolver(a, kind="lower").solve(b)
+        assert x.dtype == np.float32
+        np.testing.assert_allclose(a.matvec(x), b, atol=1e-3)
+
+    def test_invalid_kind(self, fig1_lower):
+        with pytest.raises(ValueError):
+            ScheduledTriangularSolver(fig1_lower, kind="diagonal")
+
+    def test_wrong_triangle_rejected(self, rng):
+        dense = random_lower(rng, 10).T.copy()
+        a = CSRMatrix.from_dense(dense)
+        with pytest.raises(NotTriangularError):
+            ScheduledTriangularSolver(a, kind="lower")

@@ -1,0 +1,87 @@
+"""Additional property-based tests for the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import aggregate_levels, level_schedule
+from repro.machine import A100, time_trisolve, time_trisolve_aggregated
+from repro.precond import ilut
+from repro.sparse import CSRMatrix, spgemm
+from repro.sparse.validation import dominance_measure, gershgorin_bounds
+
+from test_properties import dense_matrix
+
+
+class TestSpGEMMProperties:
+    @given(dense_matrix(max_n=10, square=False),
+           dense_matrix(max_n=10, square=False))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dense_when_conformable(self, d1, d2):
+        if d1.shape[1] != d2.shape[0]:
+            d2 = np.resize(d2, (d1.shape[1], max(1, d2.shape[1])))
+        a = CSRMatrix.from_dense(d1)
+        b = CSRMatrix.from_dense(d2)
+        c = spgemm(a, b)
+        c.check_format()
+        np.testing.assert_allclose(c.to_dense(), d1 @ d2, atol=1e-10)
+
+    @given(dense_matrix(max_n=8))
+    @settings(max_examples=30, deadline=None)
+    def test_associative_with_matvec(self, dense):
+        a = CSRMatrix.from_dense(dense)
+        c = spgemm(a, a)
+        x = np.arange(a.n_cols, dtype=np.float64)
+        np.testing.assert_allclose(c.matvec(x), a.matvec(a.matvec(x)),
+                                   atol=1e-9)
+
+
+class TestILUTProperties:
+    @given(dense_matrix(max_n=12, spd=True))
+    @settings(max_examples=25, deadline=None)
+    def test_no_dropping_reproduces_matrix(self, dense):
+        a = CSRMatrix.from_dense(dense)
+        f = ilut(a, p=dense.shape[0], drop_tol=0.0)
+        np.testing.assert_allclose(f.multiply(), dense, rtol=1e-6,
+                                   atol=1e-8)
+
+    @given(dense_matrix(max_n=12, spd=True), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_p_bounds_rows(self, dense, p):
+        a = CSRMatrix.from_dense(dense)
+        f = ilut(a, p=p, drop_tol=0.0)
+        assert f.lower.row_lengths().max(initial=0) <= p
+        assert f.upper.row_lengths().max(initial=0) <= p + 1  # + diagonal
+
+
+class TestAggregationProperties:
+    @given(dense_matrix(max_n=14, lower=True), st.integers(1, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_and_cost_ordering(self, dense, budget):
+        low = CSRMatrix.from_dense(dense)
+        sched = level_schedule(low)
+        agg = aggregate_levels(sched, max_group_rows=budget)
+        agg.validate()
+        assert 1 <= agg.n_groups <= max(1, sched.n_levels)
+        rows = sched.level_sizes
+        nnz = rows * 2 + 1
+        t_plain = time_trisolve(A100, rows, nnz)
+        t_agg = time_trisolve_aggregated(A100, rows, nnz, agg.group_ptr)
+        assert t_agg <= t_plain + 1e-15
+
+
+class TestValidationProperties:
+    @given(dense_matrix(max_n=12, spd=True))
+    @settings(max_examples=30, deadline=None)
+    def test_gershgorin_encloses_spectrum(self, dense):
+        a = CSRMatrix.from_dense(dense)
+        lo, hi = gershgorin_bounds(a)
+        w = np.linalg.eigvalsh(dense)
+        assert lo <= w.min() + 1e-9
+        assert hi >= w.max() - 1e-9
+
+    @given(dense_matrix(max_n=12, spd=True))
+    @settings(max_examples=30, deadline=None)
+    def test_spd_construction_strictly_dominant(self, dense):
+        a = CSRMatrix.from_dense(dense)
+        assert dominance_measure(a) >= 1.0

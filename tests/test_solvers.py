@@ -1,0 +1,178 @@
+"""Tests for CG / PCG (Algorithm 1) and the stopping machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.precond import ILU0Preconditioner, IdentityPreconditioner
+from repro.solvers import (SolveResult, StoppingCriterion,
+                           TerminationReason, cg, pcg)
+from repro.sparse import CSRMatrix, random_spd, stencil_poisson_2d
+
+spla = pytest.importorskip("scipy.sparse.linalg")
+sp = pytest.importorskip("scipy.sparse")
+
+
+class TestStoppingCriterion:
+    def test_paper_default(self):
+        c = StoppingCriterion.paper_default()
+        assert c.atol == 1e-12
+        assert c.max_iters == 1000
+        assert c.rtol == 0.0
+
+    def test_threshold(self):
+        c = StoppingCriterion(rtol=1e-6, atol=1e-10)
+        assert c.threshold(1000.0) == pytest.approx(1e-3)
+        assert c.threshold(0.0) == pytest.approx(1e-10)
+
+    def test_is_met(self):
+        c = StoppingCriterion(rtol=0.0, atol=1e-8)
+        assert c.is_met(1e-9, 1.0)
+        assert not c.is_met(1e-7, 1.0)
+        assert not c.is_met(float("nan"), 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StoppingCriterion(rtol=0.0, atol=0.0)
+        with pytest.raises(ValueError):
+            StoppingCriterion(rtol=-1.0)
+        with pytest.raises(ValueError):
+            StoppingCriterion(max_iters=0)
+
+
+class TestCG:
+    def test_solves_poisson(self, poisson16):
+        x_true = np.arange(poisson16.n_rows, dtype=np.float64) / 100
+        b = poisson16.matvec(x_true)
+        res = cg(poisson16, b,
+                 criterion=StoppingCriterion(rtol=1e-12, atol=0.0,
+                                             max_iters=2000))
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, atol=1e-7)
+
+    def test_matches_scipy_iterate_count_ballpark(self, poisson16):
+        b = poisson16.matvec(np.ones(poisson16.n_rows))
+        ours = cg(poisson16, b,
+                  criterion=StoppingCriterion(rtol=1e-8, atol=0.0))
+        count = [0]
+        sp_a = sp.csr_matrix(poisson16.to_dense())
+        spla.cg(sp_a, b, rtol=1e-8, atol=0.0,
+                callback=lambda xk: count.__setitem__(0, count[0] + 1))
+        assert abs(ours.n_iters - count[0]) <= max(3, 0.2 * count[0])
+
+    def test_exact_arithmetic_termination(self):
+        # CG converges in at most n iterations (exact arithmetic); allow
+        # slack for rounding.
+        a = random_spd(25, density=0.3, seed=4)
+        b = a.matvec(np.ones(25))
+        res = cg(a, b, criterion=StoppingCriterion(rtol=1e-10, atol=0.0,
+                                                   max_iters=200))
+        assert res.converged
+        assert res.n_iters <= 60
+
+    def test_zero_rhs_immediate(self, poisson16):
+        res = cg(poisson16, np.zeros(poisson16.n_rows))
+        assert res.converged
+        assert res.n_iters == 0
+
+    def test_initial_guess_exact(self, poisson16):
+        x_true = np.ones(poisson16.n_rows)
+        b = poisson16.matvec(x_true)
+        res = cg(poisson16, b, x0=x_true)
+        assert res.converged
+        assert res.n_iters == 0
+
+    def test_max_iterations_reached(self, poisson16):
+        b = poisson16.matvec(np.ones(poisson16.n_rows))
+        res = cg(poisson16, b,
+                 criterion=StoppingCriterion(atol=1e-300, max_iters=3))
+        assert not res.converged
+        assert res.reason is TerminationReason.MAX_ITERATIONS
+        assert res.n_iters == 3
+
+    def test_indefinite_detected(self):
+        dense = np.diag([1.0, -1.0, 2.0])
+        a = CSRMatrix.from_dense(dense)
+        res = cg(a, np.array([1.0, 1.0, 1.0]))
+        assert not res.converged
+        assert res.reason is TerminationReason.INDEFINITE
+
+    def test_residual_history_monotone_overall(self, poisson16):
+        b = poisson16.matvec(np.ones(poisson16.n_rows))
+        res = cg(poisson16, b)
+        assert res.residual_norms[0] > res.residual_norms[-1]
+        assert len(res.residual_norms) == res.n_iters + 1
+
+    def test_callback_invoked(self, poisson16):
+        b = poisson16.matvec(np.ones(poisson16.n_rows))
+        seen = []
+        cg(poisson16, b, callback=lambda k, r: seen.append((k, r)))
+        assert seen[0][0] == 0
+        assert len(seen) >= 2
+
+    def test_shape_validation(self, poisson16):
+        with pytest.raises(ShapeError):
+            cg(poisson16, np.ones(7))
+        with pytest.raises(ShapeError):
+            cg(poisson16, np.ones(poisson16.n_rows), x0=np.ones(3))
+
+
+class TestPCG:
+    def test_identity_preconditioner_equals_cg(self, poisson16):
+        b = poisson16.matvec(np.ones(poisson16.n_rows))
+        plain = cg(poisson16, b)
+        ident = pcg(poisson16, b, IdentityPreconditioner(poisson16.n_rows))
+        assert plain.n_iters == ident.n_iters
+        np.testing.assert_allclose(plain.x, ident.x, atol=1e-10)
+
+    def test_ilu0_reduces_iterations(self, poisson16):
+        b = poisson16.matvec(np.ones(poisson16.n_rows))
+        plain = cg(poisson16, b)
+        prec = pcg(poisson16, b, ILU0Preconditioner(poisson16))
+        assert prec.converged
+        assert prec.n_iters < plain.n_iters
+
+    def test_solution_correct_with_ilu0(self, poisson16, rng):
+        x_true = rng.standard_normal(poisson16.n_rows)
+        b = poisson16.matvec(x_true)
+        res = pcg(poisson16, b, ILU0Preconditioner(poisson16),
+                  criterion=StoppingCriterion(rtol=1e-12, atol=0.0))
+        np.testing.assert_allclose(res.x, x_true, atol=1e-6)
+
+    def test_preconditioner_size_mismatch(self, poisson16):
+        with pytest.raises(ShapeError):
+            pcg(poisson16, np.ones(poisson16.n_rows),
+                IdentityPreconditioner(poisson16.n_rows + 1))
+
+    def test_rectangular_rejected(self, rng):
+        from conftest import random_csr
+
+        a = random_csr(rng, 4, 6)
+        with pytest.raises(ShapeError):
+            pcg(a, np.ones(6))
+
+    def test_float32_system(self, poisson16):
+        a32 = poisson16.astype(np.float32)
+        b = a32.matvec(np.ones(a32.n_rows, dtype=np.float32))
+        res = pcg(a32, b, ILU0Preconditioner(a32),
+                  criterion=StoppingCriterion(rtol=1e-5, atol=0.0))
+        assert res.converged
+        assert res.x.dtype == np.float32
+
+
+class TestSolveResult:
+    def test_properties(self):
+        r = SolveResult(x=np.zeros(2), converged=True, n_iters=3,
+                        residual_norms=np.array([1.0, 0.1, 0.01, 0.001]),
+                        reason=TerminationReason.CONVERGED,
+                        tolerance=1e-2)
+        assert r.final_residual == pytest.approx(0.001)
+        assert r.reduction == pytest.approx(0.001)
+
+    def test_empty_history(self):
+        r = SolveResult(x=np.zeros(1), converged=False, n_iters=0,
+                        residual_norms=np.array([]),
+                        reason=TerminationReason.MAX_ITERATIONS,
+                        tolerance=1e-2)
+        assert np.isnan(r.final_residual)
+        assert np.isnan(r.reduction)

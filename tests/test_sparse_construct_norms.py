@@ -1,0 +1,133 @@
+"""Tests for constructors (stencils, diags, random SPD) and matrix norms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import (CSRMatrix, diags, eye, kron, norm_1, norm_2_est,
+                          norm_fro, norm_inf, norm_max, random_spd,
+                          stencil_poisson_1d, stencil_poisson_2d,
+                          stencil_poisson_3d)
+
+from conftest import random_csr
+
+
+class TestConstructors:
+    def test_eye(self):
+        np.testing.assert_allclose(eye(4).to_dense(), np.eye(4))
+
+    def test_diags_tridiagonal(self):
+        a = diags({-1: -1.0, 0: 2.0, 1: -1.0}, 4)
+        expect = (2 * np.eye(4) - np.eye(4, k=1) - np.eye(4, k=-1))
+        np.testing.assert_allclose(a.to_dense(), expect)
+
+    def test_diags_array_values(self):
+        a = diags({0: np.array([1.0, 2.0, 3.0])}, 3)
+        np.testing.assert_allclose(a.diagonal(), [1.0, 2.0, 3.0])
+
+    def test_diags_offset_out_of_range(self):
+        with pytest.raises(ShapeError):
+            diags({5: 1.0}, 3)
+
+    def test_kron_matches_numpy(self, rng):
+        a = random_csr(rng, 3, 4)
+        b = random_csr(rng, 2, 5)
+        np.testing.assert_allclose(kron(a, b).to_dense(),
+                                   np.kron(a.to_dense(), b.to_dense()))
+
+    def test_poisson_1d_spd(self):
+        a = stencil_poisson_1d(10)
+        w = np.linalg.eigvalsh(a.to_dense())
+        assert w.min() > 0
+
+    def test_poisson_2d_structure(self):
+        a = stencil_poisson_2d(3)
+        assert a.shape == (9, 9)
+        assert a.get(0, 0) == 4.0
+        assert a.get(0, 1) == -1.0
+        assert a.get(0, 3) == -1.0
+
+    def test_poisson_2d_rectangular(self):
+        a = stencil_poisson_2d(3, 5)
+        assert a.shape == (15, 15)
+
+    def test_poisson_3d(self):
+        a = stencil_poisson_3d(3)
+        assert a.shape == (27, 27)
+        assert a.get(0, 0) == 6.0
+        w = np.linalg.eigvalsh(a.to_dense())
+        assert w.min() > 0
+
+    def test_random_spd_is_spd(self):
+        a = random_spd(60, density=0.1, seed=1)
+        dense = a.to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+        assert np.linalg.eigvalsh(dense).min() > 0
+
+    def test_random_spd_deterministic(self):
+        a = random_spd(30, seed=9)
+        b = random_spd(30, seed=9)
+        np.testing.assert_allclose(a.to_dense(), b.to_dense())
+
+    def test_random_spd_diag_boost_conditioning(self):
+        loose = random_spd(40, seed=2, diag_boost=0.01)
+        tight = random_spd(40, seed=2, diag_boost=10.0)
+        kl = np.linalg.cond(loose.to_dense())
+        kt = np.linalg.cond(tight.to_dense())
+        assert kt < kl
+
+    def test_random_spd_validation(self):
+        with pytest.raises(ShapeError):
+            random_spd(0)
+        with pytest.raises(ValueError):
+            random_spd(10, density=0.0)
+        with pytest.raises(ValueError):
+            random_spd(10, diag_boost=-1.0)
+
+
+class TestNorms:
+    def test_inf_norm(self, rng):
+        a = random_csr(rng, 10, 8)
+        expect = np.abs(a.to_dense()).sum(axis=1).max()
+        assert norm_inf(a) == pytest.approx(expect)
+
+    def test_one_norm(self, rng):
+        a = random_csr(rng, 10, 8)
+        expect = np.abs(a.to_dense()).sum(axis=0).max()
+        assert norm_1(a) == pytest.approx(expect)
+
+    def test_fro_norm(self, rng):
+        a = random_csr(rng, 7, 7)
+        assert norm_fro(a) == pytest.approx(
+            np.linalg.norm(a.to_dense(), "fro"))
+
+    def test_max_norm(self, rng):
+        a = random_csr(rng, 7, 7)
+        assert norm_max(a) == pytest.approx(np.abs(a.to_dense()).max())
+
+    def test_empty_norms(self):
+        a = CSRMatrix(np.zeros(3, dtype=np.int64),
+                      np.array([], dtype=int), np.array([]), (2, 2))
+        assert norm_inf(a) == 0.0
+        assert norm_1(a) == 0.0
+        assert norm_max(a) == 0.0
+
+    def test_norm2_estimate_close_to_svd(self, rng):
+        a = random_csr(rng, 30, 30)
+        sigma = np.linalg.svd(a.to_dense(), compute_uv=False).max()
+        assert norm_2_est(a, iters=100) == pytest.approx(sigma, rel=1e-3)
+
+    def test_norm2_spd(self, poisson16):
+        lam = np.linalg.eigvalsh(poisson16.to_dense()).max()
+        assert norm_2_est(poisson16, iters=200) == pytest.approx(
+            lam, rel=1e-2)
+
+    def test_norm2_deterministic(self, rng):
+        a = random_csr(rng, 20, 20)
+        assert norm_2_est(a, seed=5) == norm_2_est(a, seed=5)
+
+    def test_norm_inequalities(self, rng):
+        # ‖A‖₂ ≤ sqrt(‖A‖₁·‖A‖_inf), a classic consistency check.
+        a = random_csr(rng, 16, 16)
+        s2 = norm_2_est(a, iters=100)
+        assert s2 <= np.sqrt(norm_1(a) * norm_inf(a)) * (1 + 1e-9)

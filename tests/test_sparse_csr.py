@@ -1,0 +1,194 @@
+"""Tests for the CSR container against dense/SciPy oracles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, SparseFormatError
+from repro.sparse import COOMatrix, CSRMatrix
+
+sp = pytest.importorskip("scipy.sparse")
+
+from conftest import random_csr  # noqa: E402
+
+
+class TestConstructionValidation:
+    def test_from_dense_roundtrip(self, rng):
+        dense = rng.random((7, 5))
+        dense[dense > 0.4] = 0.0
+        a = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(a.to_dense(), dense)
+
+    def test_figure1_layout(self, fig1_lower):
+        # Figure 1b of the paper: rowptr/col/val of the CSR example.
+        np.testing.assert_array_equal(fig1_lower.indptr, [0, 1, 2, 4, 7])
+        np.testing.assert_array_equal(fig1_lower.indices,
+                                      [0, 1, 0, 2, 0, 2, 3])
+        np.testing.assert_allclose(fig1_lower.data,
+                                   [2.0, 3.0, 1.0, 4.0, 5.0, 6.0, 7.0])
+
+    def test_nnz_shape_density(self, fig1_lower):
+        assert fig1_lower.nnz == 7
+        assert fig1_lower.shape == (4, 4)
+        assert fig1_lower.density == pytest.approx(7 / 16)
+
+    def test_bad_indptr_length(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix(np.array([0, 1]), np.array([0]), np.array([1.0]),
+                      (3, 3))
+
+    def test_nonmonotone_indptr(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix(np.array([0, 2, 1]), np.array([0, 1]),
+                      np.array([1.0, 2.0]), (2, 2))
+
+    def test_column_out_of_bounds(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix(np.array([0, 1]), np.array([5]), np.array([1.0]),
+                      (1, 2))
+
+    def test_unsorted_columns_rejected(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix(np.array([0, 2]), np.array([1, 0]),
+                      np.array([1.0, 2.0]), (1, 2))
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix(np.array([0, 2]), np.array([1, 1]),
+                      np.array([1.0, 2.0]), (1, 2))
+
+    def test_negative_shape(self):
+        with pytest.raises(ShapeError):
+            CSRMatrix(np.array([0]), np.array([]), np.array([]), (-1, 2))
+
+    def test_empty_matrix(self):
+        a = CSRMatrix(np.zeros(4, dtype=np.int64), np.array([], dtype=int),
+                      np.array([]), (3, 3))
+        assert a.nnz == 0
+        np.testing.assert_allclose(a.to_dense(), np.zeros((3, 3)))
+
+
+class TestMatvec:
+    def test_matches_dense(self, rng):
+        a = random_csr(rng, 40, 30)
+        x = rng.standard_normal(30)
+        np.testing.assert_allclose(a.matvec(x), a.to_dense() @ x,
+                                   atol=1e-12)
+
+    def test_matches_scipy(self, rng):
+        a = random_csr(rng, 25, 25)
+        s = sp.csr_matrix(a.to_dense())
+        x = rng.standard_normal(25)
+        np.testing.assert_allclose(a.matvec(x), s @ x, atol=1e-12)
+
+    def test_matmul_operator(self, rng):
+        a = random_csr(rng, 10, 10)
+        x = rng.standard_normal(10)
+        np.testing.assert_allclose(a @ x, a.matvec(x))
+
+    def test_wrong_shape_raises(self, fig1_lower):
+        with pytest.raises(ShapeError):
+            fig1_lower.matvec(np.ones(5))
+
+    def test_out_parameter(self, rng):
+        a = random_csr(rng, 8, 8)
+        x = rng.standard_normal(8)
+        out = np.empty(8)
+        res = a.matvec(x, out=out)
+        assert res is out
+
+    def test_float32(self, rng):
+        a = random_csr(rng, 12, 12).astype(np.float32)
+        x = rng.standard_normal(12).astype(np.float32)
+        y = a.matvec(x)
+        assert y.dtype == np.float32
+        np.testing.assert_allclose(y, a.to_dense() @ x, rtol=1e-5)
+
+
+class TestTransforms:
+    def test_transpose_matches_dense(self, rng):
+        a = random_csr(rng, 9, 14)
+        np.testing.assert_allclose(a.transpose().to_dense(),
+                                   a.to_dense().T)
+
+    def test_transpose_is_canonical(self, rng):
+        a = random_csr(rng, 20, 20)
+        a.transpose().check_format()
+
+    def test_double_transpose_identity(self, rng):
+        a = random_csr(rng, 13, 7)
+        t = a.transpose().transpose()
+        np.testing.assert_array_equal(t.indptr, a.indptr)
+        np.testing.assert_array_equal(t.indices, a.indices)
+        np.testing.assert_allclose(t.data, a.data)
+
+    def test_tocoo_roundtrip(self, rng):
+        a = random_csr(rng, 11, 11)
+        back = a.tocoo().tocsr()
+        np.testing.assert_allclose(back.to_dense(), a.to_dense())
+
+    def test_tocsc_dense(self, rng):
+        a = random_csr(rng, 6, 9)
+        np.testing.assert_allclose(a.tocsc().to_dense(), a.to_dense())
+
+    def test_copy_is_deep(self, fig1_lower):
+        c = fig1_lower.copy()
+        c.data[0] = 99.0
+        assert fig1_lower.data[0] == 2.0
+
+    def test_astype(self, fig1_lower):
+        f32 = fig1_lower.astype(np.float32)
+        assert f32.dtype == np.float32
+        np.testing.assert_allclose(f32.to_dense(), fig1_lower.to_dense())
+
+
+class TestAccessors:
+    def test_diagonal(self, rng):
+        a = random_csr(rng, 15, 15)
+        np.testing.assert_allclose(a.diagonal(), np.diag(a.to_dense()))
+
+    def test_diagonal_rectangular(self, rng):
+        a = random_csr(rng, 4, 8)
+        np.testing.assert_allclose(a.diagonal(), np.diag(a.to_dense()))
+
+    def test_get(self, fig1_lower):
+        assert fig1_lower.get(3, 2) == 6.0
+        assert fig1_lower.get(0, 3) == 0.0
+
+    def test_row_slice(self, fig1_lower):
+        cols, vals = fig1_lower.row_slice(3)
+        np.testing.assert_array_equal(cols, [0, 2, 3])
+        np.testing.assert_allclose(vals, [5.0, 6.0, 7.0])
+
+    def test_row_lengths(self, fig1_lower):
+        np.testing.assert_array_equal(fig1_lower.row_lengths(), [1, 1, 2, 3])
+
+    def test_eliminate_zeros(self):
+        a = CSRMatrix(np.array([0, 3]), np.array([0, 1, 2]),
+                      np.array([1.0, 0.0, 1e-30]), (1, 3))
+        b = a.eliminate_zeros()
+        assert b.nnz == 2
+        c = a.eliminate_zeros(tol=1e-20)
+        assert c.nnz == 1
+
+
+class TestCOOConversion:
+    def test_duplicates_summed(self):
+        coo = COOMatrix(np.array([0, 0, 1]), np.array([1, 1, 0]),
+                        np.array([2.0, 3.0, 4.0]), (2, 2))
+        a = coo.tocsr()
+        assert a.nnz == 2
+        assert a.get(0, 1) == 5.0
+
+    def test_coo_bounds_check(self):
+        with pytest.raises(SparseFormatError):
+            COOMatrix(np.array([5]), np.array([0]), np.array([1.0]), (2, 2))
+
+    def test_coo_transpose(self, rng):
+        a = random_csr(rng, 6, 4).tocoo()
+        np.testing.assert_allclose(a.transpose().to_dense(),
+                                   a.to_dense().T)
+
+    def test_empty_coo_to_csr(self):
+        coo = COOMatrix(np.array([], dtype=int), np.array([], dtype=int),
+                        np.array([]), (3, 3))
+        assert coo.tocsr().nnz == 0

@@ -1,0 +1,142 @@
+"""Tests for Matrix Market I/O and RCM reordering."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixMarketError
+from repro.sparse import (CSRMatrix, permute, read_matrix_market,
+                          stencil_poisson_2d, write_matrix_market)
+from repro.sparse.reorder import bandwidth, rcm_ordering
+
+from conftest import random_csr
+
+
+class TestMatrixMarket:
+    def test_roundtrip_general(self, rng, tmp_path):
+        a = random_csr(rng, 8, 6)
+        path = tmp_path / "a.mtx"
+        write_matrix_market(path, a)
+        b = read_matrix_market(path)
+        np.testing.assert_allclose(b.to_dense(), a.to_dense())
+
+    def test_roundtrip_symmetric(self, poisson16, tmp_path):
+        path = tmp_path / "sym.mtx"
+        write_matrix_market(path, poisson16, symmetric=True)
+        b = read_matrix_market(path)
+        np.testing.assert_allclose(b.to_dense(), poisson16.to_dense())
+
+    def test_symmetric_storage_is_lower(self, poisson16, tmp_path):
+        path = tmp_path / "sym.mtx"
+        write_matrix_market(path, poisson16, symmetric=True)
+        header = path.read_text().splitlines()
+        assert "symmetric" in header[0]
+        n, m, nnz = (int(x) for x in header[1].split())
+        assert nnz < poisson16.nnz  # only one triangle stored
+
+    def test_comment_written_and_skipped(self, rng, tmp_path):
+        a = random_csr(rng, 4, 4)
+        path = tmp_path / "c.mtx"
+        write_matrix_market(path, a, comment="hello\nworld")
+        assert "% hello" in path.read_text()
+        read_matrix_market(path)  # comments skipped without error
+
+    def test_pattern_field(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate pattern general\n"
+                        "2 2 2\n1 1\n2 2\n")
+        a = read_matrix_market(path)
+        np.testing.assert_allclose(a.to_dense(), np.eye(2))
+
+    def test_integer_field(self, tmp_path):
+        path = tmp_path / "i.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate integer general\n"
+                        "2 2 1\n1 2 7\n")
+        a = read_matrix_market(path)
+        assert a.get(0, 1) == 7.0
+
+    def test_skew_symmetric(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n2 1 3.0\n")
+        a = read_matrix_market(path)
+        assert a.get(1, 0) == 3.0
+        assert a.get(0, 1) == -3.0
+
+    def test_gzip_supported(self, rng, tmp_path):
+        a = random_csr(rng, 5, 5)
+        plain = tmp_path / "g.mtx"
+        write_matrix_market(plain, a)
+        gz = tmp_path / "g.mtx.gz"
+        gz.write_bytes(gzip.compress(plain.read_bytes()))
+        b = read_matrix_market(gz)
+        np.testing.assert_allclose(b.to_dense(), a.to_dense())
+
+    def test_missing_banner(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("not a matrix\n")
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(path)
+
+    def test_wrong_entry_count(self, tmp_path):
+        path = tmp_path / "bad2.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n"
+                        "2 2 2\n1 1 1.0\n")
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(path)
+
+    def test_unsupported_field(self, tmp_path):
+        path = tmp_path / "bad3.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate complex general\n"
+                        "1 1 1\n1 1 1.0 0.0\n")
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(path)
+
+    def test_dense_format_rejected(self, tmp_path):
+        path = tmp_path / "bad4.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n"
+                        "1 1\n1.0\n")
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(path)
+
+
+class TestRCM:
+    def test_is_permutation(self, poisson16):
+        perm = rcm_ordering(poisson16)
+        np.testing.assert_array_equal(np.sort(perm),
+                                      np.arange(poisson16.n_rows))
+
+    def test_reduces_bandwidth_of_shuffled_grid(self, rng):
+        a = stencil_poisson_2d(8)
+        shuffled = permute(a, rng.permutation(a.n_rows))
+        perm = rcm_ordering(shuffled)
+        reordered = permute(shuffled, perm)
+        assert bandwidth(reordered) < bandwidth(shuffled)
+
+    def test_matches_scipy_bandwidth_quality(self, rng):
+        sp = pytest.importorskip("scipy.sparse")
+        csgraph = pytest.importorskip("scipy.sparse.csgraph")
+        a = stencil_poisson_2d(7)
+        shuffled = permute(a, rng.permutation(a.n_rows))
+        ours = bandwidth(permute(shuffled, rcm_ordering(shuffled)))
+        s = sp.csr_matrix(shuffled.to_dense())
+        sp_perm = csgraph.reverse_cuthill_mckee(s, symmetric_mode=True)
+        theirs = bandwidth(permute(shuffled, np.asarray(sp_perm)))
+        # Same ballpark as SciPy's RCM (within 2x).
+        assert ours <= 2 * max(theirs, 1)
+
+    def test_disconnected_components(self):
+        dense = np.array([[2.0, 1.0, 0, 0],
+                          [1.0, 2.0, 0, 0],
+                          [0, 0, 2.0, 1.0],
+                          [0, 0, 1.0, 2.0]])
+        a = CSRMatrix.from_dense(dense)
+        perm = rcm_ordering(a)
+        np.testing.assert_array_equal(np.sort(perm), np.arange(4))
+
+    def test_bandwidth_empty(self):
+        a = CSRMatrix(np.zeros(4, dtype=np.int64),
+                      np.array([], dtype=int), np.array([]), (3, 3))
+        assert bandwidth(a) == 0

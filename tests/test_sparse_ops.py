@@ -1,0 +1,127 @@
+"""Tests for repro.sparse.ops — elementwise algebra and structure ops."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotSymmetricError, ShapeError
+from repro.sparse import (CSRMatrix, add, diagonal, extract_lower,
+                          extract_strict_lower, extract_strict_upper,
+                          extract_upper, is_structurally_symmetric,
+                          is_symmetric, permute, scale, subtract, symmetrize)
+
+from conftest import random_csr
+
+
+class TestAddSubtractScale:
+    def test_add_matches_dense(self, rng):
+        a = random_csr(rng, 12, 9)
+        b = random_csr(rng, 12, 9)
+        np.testing.assert_allclose(add(a, b).to_dense(),
+                                   a.to_dense() + b.to_dense())
+
+    def test_subtract_matches_dense(self, rng):
+        a = random_csr(rng, 10, 10)
+        b = random_csr(rng, 10, 10)
+        np.testing.assert_allclose(subtract(a, b).to_dense(),
+                                   a.to_dense() - b.to_dense())
+
+    def test_add_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            add(random_csr(rng, 3, 3), random_csr(rng, 4, 4))
+
+    def test_scale(self, rng):
+        a = random_csr(rng, 6, 6)
+        np.testing.assert_allclose(scale(a, -2.5).to_dense(),
+                                   -2.5 * a.to_dense())
+
+    def test_add_result_is_canonical(self, rng):
+        a = random_csr(rng, 8, 8)
+        b = random_csr(rng, 8, 8)
+        add(a, b).check_format()
+
+    def test_decomposition_identity(self, rng):
+        # A = (A - B) + B must hold exactly on the merged pattern.
+        a = random_csr(rng, 15, 15)
+        b = random_csr(rng, 15, 15)
+        back = add(subtract(a, b), b)
+        np.testing.assert_allclose(back.to_dense(), a.to_dense(),
+                                   atol=1e-14)
+
+
+class TestTriangles:
+    def test_lower_upper_partition(self, rng):
+        a = random_csr(rng, 9, 9)
+        dense = a.to_dense()
+        np.testing.assert_allclose(extract_lower(a).to_dense(),
+                                   np.tril(dense))
+        np.testing.assert_allclose(extract_upper(a).to_dense(),
+                                   np.triu(dense))
+        np.testing.assert_allclose(extract_strict_lower(a).to_dense(),
+                                   np.tril(dense, -1))
+        np.testing.assert_allclose(extract_strict_upper(a).to_dense(),
+                                   np.triu(dense, 1))
+
+    def test_triangles_sum_to_matrix(self, rng):
+        a = random_csr(rng, 7, 7)
+        total = add(extract_strict_lower(a),
+                    add(extract_upper(a),
+                        CSRMatrix.from_dense(np.zeros((7, 7)))))
+        np.testing.assert_allclose(total.to_dense(), a.to_dense())
+
+
+class TestSymmetry:
+    def test_symmetric_detected(self, poisson16):
+        assert is_symmetric(poisson16)
+        assert is_structurally_symmetric(poisson16)
+
+    def test_asymmetric_detected(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 2.0], [0.0, 1.0]]))
+        assert not is_symmetric(a)
+        assert not is_structurally_symmetric(a)
+
+    def test_value_asymmetry_with_symmetric_pattern(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 2.0], [3.0, 1.0]]))
+        assert is_structurally_symmetric(a)
+        assert not is_symmetric(a)
+        assert is_symmetric(a, tol=1.5)
+
+    def test_rectangular_never_symmetric(self, rng):
+        assert not is_symmetric(random_csr(rng, 3, 5))
+
+    def test_symmetrize(self, rng):
+        a = random_csr(rng, 8, 8)
+        s = symmetrize(a)
+        np.testing.assert_allclose(s.to_dense(),
+                                   (a.to_dense() + a.to_dense().T) / 2)
+
+    def test_symmetrize_rejects_rectangular(self, rng):
+        with pytest.raises(NotSymmetricError):
+            symmetrize(random_csr(rng, 3, 4))
+
+
+class TestPermute:
+    def test_matches_dense_fancy_indexing(self, rng):
+        a = random_csr(rng, 10, 10)
+        perm = rng.permutation(10)
+        np.testing.assert_allclose(permute(a, perm).to_dense(),
+                                   a.to_dense()[np.ix_(perm, perm)])
+
+    def test_identity_permutation(self, rng):
+        a = random_csr(rng, 6, 6)
+        np.testing.assert_allclose(permute(a, np.arange(6)).to_dense(),
+                                   a.to_dense())
+
+    def test_invalid_permutation_rejected(self, rng):
+        a = random_csr(rng, 5, 5)
+        with pytest.raises(ShapeError):
+            permute(a, np.array([0, 0, 1, 2, 3]))
+
+    def test_preserves_symmetry(self, poisson16, rng):
+        perm = rng.permutation(poisson16.n_rows)
+        assert is_symmetric(permute(poisson16, perm))
+
+
+class TestDiagonal:
+    def test_diagonal_function(self, rng):
+        a = random_csr(rng, 9, 9)
+        np.testing.assert_allclose(diagonal(a), np.diag(a.to_dense()))

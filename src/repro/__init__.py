@@ -29,12 +29,17 @@ Subpackages
     Synthetic SPD matrix suite mirroring the paper's 17 categories.
 ``repro.harness``
     Experiment runner and statistics for regenerating every table/figure.
+``repro.resilience``
+    Fault injection, breakdown guards and the ``robust_spcg`` fallback
+    ladder.
 """
 
 from .errors import (
+    AbortSolve,
     ConvergenceError,
     DatasetError,
     DeviceModelError,
+    InvalidCriterionError,
     MatrixMarketError,
     NotPositiveDefiniteError,
     NotSymmetricError,
@@ -85,6 +90,19 @@ from .core import (
     wavefront_aware_sparsify,
 )
 from .machine import A100, EPYC_7413, V100, DeviceModel, get_device
+from .resilience import (
+    FailureClass,
+    FallbackPolicy,
+    FaultPlan,
+    FaultSpec,
+    GuardConfig,
+    GuardTrip,
+    ResidualGuard,
+    RobustSolveReport,
+    classify_failure,
+    default_ladder,
+    robust_spcg,
+)
 
 __version__ = "1.0.0"
 
@@ -93,7 +111,7 @@ __all__ = [
     "ReproError", "ShapeError", "SparseFormatError", "NotTriangularError",
     "SingularFactorError", "NotSymmetricError", "NotPositiveDefiniteError",
     "ConvergenceError", "MatrixMarketError", "DatasetError",
-    "DeviceModelError",
+    "DeviceModelError", "InvalidCriterionError", "AbortSolve",
     # sparse
     "COOMatrix", "CSRMatrix", "CSCMatrix", "eye", "diags", "random_spd",
     "stencil_poisson_1d", "stencil_poisson_2d", "stencil_poisson_3d",
@@ -111,5 +129,9 @@ __all__ = [
     "wavefront_aware_sparsify", "SPCGResult", "spcg", "oracle_select",
     # machine
     "DeviceModel", "A100", "V100", "EPYC_7413", "get_device",
+    # resilience
+    "FaultSpec", "FaultPlan", "FailureClass", "GuardConfig", "GuardTrip",
+    "ResidualGuard", "classify_failure", "FallbackPolicy",
+    "RobustSolveReport", "default_ladder", "robust_spcg",
     "__version__",
 ]

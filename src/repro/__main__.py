@@ -39,7 +39,8 @@ def _cmd_suite(args) -> int:
                     precond=args.precond,
                     k_candidates=tuple(args.k_candidates),
                     run_fixed_ratios=not args.fast,
-                    progress=not args.quiet)
+                    progress=not args.quiet,
+                    robust=args.robust)
     agg = res.aggregates()
     print(f"\nmatrices: {agg.n_matrices}  device: {res.device}  "
           f"preconditioner: {res.precond_kind}")
@@ -57,6 +58,9 @@ def _cmd_suite(args) -> int:
               f"{agg.percent_oracle_match:.1f}%")
     print(f"wavefront-speedup Spearman:  "
           f"{agg.spearman_wavefront_speedup:.3f}")
+    resilience = res.resilience_summary()
+    if resilience is not None:
+        print(resilience.summary())
     return 0
 
 
@@ -69,6 +73,18 @@ def _cmd_solve(args) -> int:
         print("warning: symmetrizing input", file=sys.stderr)
         a = symmetrize(a)
     b = a.matvec(np.ones(a.n_rows))
+    if args.robust:
+        from .resilience import robust_spcg
+
+        report = robust_spcg(a, b, preconditioner=args.precond, k=args.k,
+                             tau=args.tau, omega=args.omega)
+        print(report.summary())
+        r = report.result
+        resid = r.final_residual if r is not None else float("nan")
+        print(f"n={a.n_rows} nnz={a.nnz} "
+              f"converged={report.converged} attempts={report.n_attempts} "
+              f"residual={resid:.3e}")
+        return 0 if report.converged else 1
     res = spcg(a, b, preconditioner=args.precond, k=args.k,
                tau=args.tau, omega=args.omega)
     print(f"n={a.n_rows} nnz={a.nnz} ratio={res.chosen_ratio:g}% "
@@ -119,6 +135,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--fast", action="store_true",
                    help="skip the fixed-ratio ablations")
     p.add_argument("--quiet", action="store_true")
+    p.add_argument("--robust", action="store_true",
+                   help="also run the fallback ladder per matrix and "
+                        "report recovery rate + failure taxonomy")
     p.set_defaults(func=_cmd_suite)
 
     p = sub.add_parser("solve", help="solve a Matrix Market system")
@@ -128,6 +147,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--k", type=int, default=1)
     p.add_argument("--tau", type=float, default=1.0)
     p.add_argument("--omega", type=float, default=10.0)
+    p.add_argument("--robust", action="store_true",
+                   help="solve through the robust_spcg fallback ladder "
+                        "and print the per-attempt report")
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("datasets", help="list the matrix registry")

@@ -11,8 +11,12 @@ convergence-rate, not correctness, effect).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..resilience.faults import FaultPlan
 
 from ..precond.base import Preconditioner
 from ..precond.ic0 import IC0Preconditioner
@@ -31,22 +35,28 @@ _PRECONDITIONERS = ("ilu0", "iluk", "ic0", "jacobi")
 
 
 def make_preconditioner(a: CSRMatrix, kind: str, *, k: int = 1,
-                        raise_on_zero_pivot: bool = False
-                        ) -> Preconditioner:
+                        raise_on_zero_pivot: bool = False,
+                        pivot_boost: float = 1e-8,
+                        shift: float = 0.0) -> Preconditioner:
     """Factory for the preconditioners SPCG supports.
 
     ``raise_on_zero_pivot`` defaults to ``False`` here (cuSPARSE-style
     pivot boosting) because sparsification can zero a pivot that the
     exact factorization would keep; the paper's pipeline likewise keeps
-    running and lets the convergence check sort it out.
+    running and lets the convergence check sort it out.  The resilience
+    ladder flips it to ``True`` so zero pivots are *classified*, then
+    escalates ``pivot_boost`` (ILU family) or the Manteuffel diagonal
+    ``shift`` (IC(0)) on the retry.
     """
     if kind == "ilu0":
-        return ILU0Preconditioner(a, raise_on_zero_pivot=raise_on_zero_pivot)
+        return ILU0Preconditioner(a, raise_on_zero_pivot=raise_on_zero_pivot,
+                                  pivot_boost=pivot_boost)
     if kind == "iluk":
         return ILUKPreconditioner(a, k=k,
-                                  raise_on_zero_pivot=raise_on_zero_pivot)
+                                  raise_on_zero_pivot=raise_on_zero_pivot,
+                                  pivot_boost=pivot_boost)
     if kind == "ic0":
-        return IC0Preconditioner(a)
+        return IC0Preconditioner(a, shift=shift)
     if kind == "jacobi":
         return JacobiPreconditioner(a)
     raise ValueError(f"unknown preconditioner {kind!r}; "
@@ -93,7 +103,11 @@ def spcg(a: CSRMatrix, b: np.ndarray, *, preconditioner: str = "ilu0",
          k: int = 1, tau: float = 1.0, omega: float = 10.0,
          ratios: tuple[float, ...] = (10.0, 5.0, 1.0),
          criterion: StoppingCriterion | None = None,
-         x0: np.ndarray | None = None) -> SPCGResult:
+         x0: np.ndarray | None = None,
+         callback: Callable[[int, float], None] | None = None,
+         raise_on_zero_pivot: bool = False,
+         pivot_boost: float = 1e-8,
+         fault_plan: "FaultPlan | None" = None) -> SPCGResult:
     """Solve ``A x = b`` with the sparsified preconditioned CG of Figure 2.
 
     Parameters
@@ -112,6 +126,25 @@ def spcg(a: CSRMatrix, b: np.ndarray, *, preconditioner: str = "ilu0",
         Stopping rule (paper default: ‖r‖ < 1e-12, ≤1000 iterations).
     x0:
         Initial guess.
+    callback:
+        Forwarded to :func:`~repro.solvers.cg.pcg` — invoked as
+        ``callback(k, r_norm)`` after every convergence check, so
+        resilience guards can observe the residual history without
+        monkey-patching.  May raise :class:`repro.errors.AbortSolve`
+        to stop the solve early.
+    raise_on_zero_pivot:
+        Forwarded to :func:`make_preconditioner`.  ``False`` (default)
+        keeps the paper's pivot-boost-and-carry-on behaviour; ``True``
+        surfaces the breakdown as :class:`repro.errors.SingularFactorError`
+        so callers (the resilience ladder) can classify and escalate.
+    pivot_boost:
+        Relative boost magnitude when ``raise_on_zero_pivot=False``.
+    fault_plan:
+        Optional :class:`repro.resilience.FaultPlan`; when given, its
+        matrix faults corrupt ``Â`` before factorization and its apply
+        faults wrap the preconditioner (scope key ``"spcg"``).  This is
+        the deterministic fault-injection hook — production solves leave
+        it ``None``.
 
     Returns
     -------
@@ -119,6 +152,13 @@ def spcg(a: CSRMatrix, b: np.ndarray, *, preconditioner: str = "ilu0",
     """
     decision = wavefront_aware_sparsify(a, tau=tau, omega=omega,
                                         ratios=ratios)
-    m = make_preconditioner(decision.a_hat, preconditioner, k=k)
-    solve = pcg(a, b, m, criterion=criterion, x0=x0)
+    a_hat = decision.a_hat
+    if fault_plan is not None:
+        a_hat = fault_plan.corrupt_matrix(a_hat, "spcg")
+    m = make_preconditioner(a_hat, preconditioner, k=k,
+                            raise_on_zero_pivot=raise_on_zero_pivot,
+                            pivot_boost=pivot_boost)
+    if fault_plan is not None:
+        m = fault_plan.wrap_preconditioner(m, "spcg")
+    solve = pcg(a, b, m, criterion=criterion, x0=x0, callback=callback)
     return SPCGResult(solve=solve, decision=decision, preconditioner=m)

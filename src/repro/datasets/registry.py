@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable
 
 from ..errors import DatasetError
 from ..sparse.csr import CSRMatrix

@@ -20,6 +20,8 @@ __all__ = [
     "DatasetError",
     "DeviceModelError",
     "FillLimitExceeded",
+    "InvalidCriterionError",
+    "AbortSolve",
 ]
 
 
@@ -81,6 +83,23 @@ class DatasetError(ReproError, KeyError):
 
 class DeviceModelError(ReproError, ValueError):
     """Invalid device-model parameters (non-positive bandwidth, etc.)."""
+
+
+class InvalidCriterionError(ReproError, ValueError):
+    """A stopping criterion was constructed with invalid parameters
+    (non-positive iteration cap, negative or non-finite tolerances)."""
+
+
+class AbortSolve(ReproError, RuntimeError):
+    """Raised *by a solver callback* to abort the iteration early.
+
+    :func:`repro.solvers.pcg` catches this family around its callback
+    invocations and turns it into a best-effort
+    :class:`~repro.solvers.result.SolveResult` with reason
+    ``GUARD_TRIPPED`` instead of propagating — the mechanism the
+    :mod:`repro.resilience` health guards use to stop a diverging or
+    stagnating solve without losing the iterate computed so far.
+    """
 
 
 class FillLimitExceeded(ReproError, RuntimeError):

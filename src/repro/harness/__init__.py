@@ -20,7 +20,8 @@ from .experiment import (
 )
 from .grid_search import (GridPoint, GridSearchResult,
                           grid_search_thresholds)
-from .suite import SuiteAggregates, SuiteResult, run_suite
+from .suite import (ResilienceAggregates, SuiteAggregates, SuiteResult,
+                    run_suite)
 from .report import (
     render_bar_chart,
     render_histogram,

@@ -35,6 +35,9 @@ from ..machine.kernels import (IterationCost, iteration_cost,
 from ..precond.base import Preconditioner
 from ..precond.iluk import iluk_symbolic
 from ..core.spcg import make_preconditioner
+from ..resilience.fallback import FallbackPolicy, RobustSolveReport, \
+    robust_spcg
+from ..resilience.guards import classify_failure
 from ..solvers.cg import pcg
 from ..solvers.stopping import StoppingCriterion
 from ..sparse.csr import CSRMatrix
@@ -79,6 +82,10 @@ class MethodMetrics:
     iteration_breakdown: IterationCost
     failed: bool = False
     failure: str = ""
+    #: Resilience-taxonomy bucket (``repro.resilience.FailureClass``
+    #: value) — empty for converged variants, so suite aggregation can
+    #: bucket failures instead of only counting NaNs.
+    failure_class: str = ""
 
     @property
     def end_to_end_seconds(self) -> float:
@@ -109,6 +116,10 @@ class ExperimentResult:
     spcg: MethodMetrics
     decision: SparsificationDecision
     per_ratio: dict[float, MethodMetrics] = field(default_factory=dict)
+    #: Fallback-ladder outcome when the experiment ran with
+    #: ``robust=True`` (None otherwise).  Kept out of every baseline
+    #: aggregate so the paper's speedup statistics are unchanged.
+    robust: RobustSolveReport | None = None
 
     # -- derived quantities used by the figures -------------------------
     @property
@@ -185,6 +196,7 @@ def _metrics_for(a: CSRMatrix, matrix_for_precond: CSRMatrix,
         solve = pcg(a, b, m, criterion=criterion)
         cost = iteration_cost(dev, a, m)
         lv = m.apply_levels()
+        fc = classify_failure(solve)
         return MethodMetrics(
             method=method,
             ratio_percent=ratio,
@@ -196,15 +208,20 @@ def _metrics_for(a: CSRMatrix, matrix_for_precond: CSRMatrix,
             total_wavefronts=lv[0] + lv[1],
             precond_nnz=m.apply_nnz(),
             iteration_breakdown=cost,
+            failure_class=fc.value if fc is not None else "",
         )
     except (ReproError, FloatingPointError) as exc:
+        # Consistent NaN sentinels (the old inf/0 mix leaked into
+        # aggregates); the failure class names the taxonomy bucket.
         zero = IterationCost(0.0, 0.0, 0.0, 0.0, 0.0)
+        fc = classify_failure(exc)
         return MethodMetrics(
             method=method, ratio_percent=ratio, converged=False,
-            n_iters=0, per_iteration_seconds=float("inf"),
-            factor_seconds=float("inf"), sparsify_seconds=sparsify_seconds,
+            n_iters=0, per_iteration_seconds=float("nan"),
+            factor_seconds=float("nan"), sparsify_seconds=sparsify_seconds,
             total_wavefronts=0, precond_nnz=0, iteration_breakdown=zero,
-            failed=True, failure=f"{type(exc).__name__}: {exc}")
+            failed=True, failure=f"{type(exc).__name__}: {exc}",
+            failure_class=fc.value if fc is not None else "unknown")
 
 
 def select_best_k(a: CSRMatrix, b: np.ndarray, *,
@@ -258,7 +275,10 @@ def run_experiment(a: CSRMatrix, *, name: str = "matrix",
                    ratios: tuple[float, ...] = (10.0, 5.0, 1.0),
                    criterion: StoppingCriterion | None = None,
                    run_fixed_ratios: bool = True,
-                   rhs: np.ndarray | None = None) -> ExperimentResult:
+                   rhs: np.ndarray | None = None,
+                   robust: bool = False,
+                   robust_policy: FallbackPolicy | None = None,
+                   fault_plan=None) -> ExperimentResult:
     """Run PCG, SPCG and the fixed-ratio ablations on one matrix.
 
     Parameters
@@ -283,6 +303,18 @@ def run_experiment(a: CSRMatrix, *, name: str = "matrix",
         the oracle need these; disable to halve runtime).
     rhs:
         Right-hand side; default ``b = A·1``.
+    robust:
+        Additionally run :func:`repro.resilience.robust_spcg` and
+        attach its :class:`RobustSolveReport` (field ``robust``).  The
+        baseline/SPCG metrics and every speedup aggregate are computed
+        exactly as before — robust mode only *adds* the recovery
+        diagnostics.
+    robust_policy:
+        Fallback policy for the robust run (defaults when ``None``;
+        the policy's *device* defaults to the experiment's).
+    fault_plan:
+        Optional :class:`repro.resilience.FaultPlan` threaded into the
+        robust run (fault-injection studies).
     """
     crit = criterion or StoppingCriterion.paper_default()
     b = rhs if rhs is not None else a.matvec(
@@ -311,8 +343,16 @@ def run_experiment(a: CSRMatrix, *, name: str = "matrix",
                 a, cand.a_hat, b, device, precond, kk, f"ratio:{t:g}",
                 float(t), t_sp, crit)
 
+    robust_report: RobustSolveReport | None = None
+    if robust:
+        policy = robust_policy or FallbackPolicy(device=device)
+        robust_report = robust_spcg(
+            a, b, policy=policy, preconditioner=precond, k=kk, tau=tau,
+            omega=omega, ratios=ratios, criterion=crit,
+            fault_plan=fault_plan)
+
     return ExperimentResult(
         name=name, category=category, n=a.n_rows, nnz=a.nnz,
         device=device.name, precond_kind=precond, k=kk,
         baseline=baseline, spcg=spcg_m, decision=decision,
-        per_ratio=per_ratio)
+        per_ratio=per_ratio, robust=robust_report)

@@ -20,7 +20,8 @@ from ..util import gmean, spearman
 from ..datasets.registry import MatrixSpec, SUITE, load
 from .experiment import ExperimentResult, run_experiment
 
-__all__ = ["SuiteAggregates", "SuiteResult", "run_suite"]
+__all__ = ["SuiteAggregates", "ResilienceAggregates", "SuiteResult",
+           "run_suite"]
 
 
 @dataclass(frozen=True)
@@ -41,6 +42,33 @@ class SuiteAggregates:
     gmean_oracle_speedup: float
     percent_oracle_match: float
     spearman_wavefront_speedup: float
+
+
+@dataclass(frozen=True)
+class ResilienceAggregates:
+    """Robust-mode statistics over a suite run.
+
+    Kept separate from :class:`SuiteAggregates` so enabling
+    ``robust=True`` never perturbs the paper's baseline speedup
+    aggregates — the resilience ladder runs *in addition to* the
+    baseline/SPCG comparison, not instead of it.
+    """
+
+    n_robust: int
+    n_converged: int
+    n_recovered: int
+    recovery_rate: float
+    mean_attempts: float
+    failure_taxonomy: tuple[tuple[str, int], ...]
+
+    def summary(self) -> str:
+        tax = ", ".join(f"{k}×{v}" for k, v in self.failure_taxonomy) \
+            or "none"
+        return (f"robust: {self.n_converged}/{self.n_robust} converged, "
+                f"{self.n_recovered} via fallback "
+                f"(recovery rate {100.0 * self.recovery_rate:.0f}%), "
+                f"mean {self.mean_attempts:.1f} attempts; "
+                f"failures seen: {tax}")
 
 
 @dataclass
@@ -136,6 +164,46 @@ class SuiteResult:
             spearman_wavefront_speedup=rho,
         )
 
+    # -- resilience aggregates --------------------------------------------
+    def failure_taxonomy(self) -> dict[str, int]:
+        """Failure-class counts over every robust-mode attempt.
+
+        Counts *attempts*, not matrices: a solve that hit a zero pivot,
+        then stagnated, then recovered contributes one ``zero_pivot``
+        and one ``stagnation``.
+        """
+        counts: dict[str, int] = {}
+        for r in self.results:
+            if r.robust is None:
+                continue
+            for name in r.robust.failure_classes:
+                counts[name] = counts.get(name, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    def resilience_summary(self) -> ResilienceAggregates | None:
+        """Recovery statistics over the robust-mode runs.
+
+        ``None`` when the suite ran without ``robust=True``.  Kept out
+        of :meth:`aggregates` on purpose: the baseline speedup numbers
+        must not change when robust mode is toggled.
+        """
+        reports = [r.robust for r in self.results if r.robust is not None]
+        if not reports:
+            return None
+        n = len(reports)
+        converged = sum(1 for rep in reports if rep.converged)
+        recovered = sum(1 for rep in reports if rep.recovered)
+        faulted = sum(1 for rep in reports if rep.failure_classes)
+        return ResilienceAggregates(
+            n_robust=n,
+            n_converged=converged,
+            n_recovered=recovered,
+            recovery_rate=(recovered / faulted if faulted else 1.0),
+            mean_attempts=float(np.mean([rep.n_attempts
+                                         for rep in reports])),
+            failure_taxonomy=tuple(self.failure_taxonomy().items()),
+        )
+
     def ratio_table(self, ratios: Sequence[float] = (1.0, 5.0, 10.0)
                     ) -> dict[str, dict[float, float]]:
         """Table 1 rows: per-ratio gmean speedup and % accelerated."""
@@ -167,7 +235,10 @@ def run_suite(matrices: Iterable[MatrixSpec | str] | None = None, *,
               criterion: StoppingCriterion | None = None,
               run_fixed_ratios: bool = True,
               max_n: int | None = None,
-              progress: bool = False) -> SuiteResult:
+              progress: bool = False,
+              robust: bool = False,
+              robust_policy=None,
+              fault_plan_factory=None) -> SuiteResult:
     """Run :func:`~repro.harness.experiment.run_experiment` over a
     collection.
 
@@ -180,6 +251,18 @@ def run_suite(matrices: Iterable[MatrixSpec | str] | None = None, *,
         to bound the Python-side symbolic cost).
     progress:
         Print one line per matrix (benches enable it).
+    robust:
+        Additionally run the :func:`~repro.resilience.robust_spcg`
+        fallback ladder per matrix; :meth:`SuiteResult.resilience_summary`
+        then reports the recovery rate and failure taxonomy.  The
+        baseline/SPCG aggregates are computed exactly as before.
+    robust_policy:
+        :class:`~repro.resilience.FallbackPolicy` for the robust runs
+        (default: ladder defaults on *device*).
+    fault_plan_factory:
+        Optional ``name -> FaultPlan | None`` callable giving each
+        matrix its own (fresh) fault plan — per-matrix plans keep
+        trigger bookkeeping independent across the sweep.
     """
     specs: list[MatrixSpec] = []
     source = SUITE if matrices is None else matrices
@@ -194,15 +277,22 @@ def run_suite(matrices: Iterable[MatrixSpec | str] | None = None, *,
         a = load(spec.name) if spec.name in _BY_NAME else spec.build()
         if max_n is not None and a.n_rows > max_n:
             continue
+        plan = (fault_plan_factory(spec.name)
+                if fault_plan_factory is not None else None)
         res = run_experiment(
             a, name=spec.name, category=spec.category, device=device,
             precond=precond, k=k, k_candidates=k_candidates, tau=tau,
             omega=omega, ratios=ratios, criterion=criterion,
-            run_fixed_ratios=run_fixed_ratios)
+            run_fixed_ratios=run_fixed_ratios,
+            robust=robust, robust_policy=robust_policy, fault_plan=plan)
         out.results.append(res)
         if progress:
             pi = res.per_iteration_speedup
             e2e = res.end_to_end_speedup
-            print(f"  {spec.name:40s} per-iter x{pi:6.2f}  "
-                  f"e2e x{e2e:6.2f}  ratio {res.spcg.ratio_percent:g}%")
+            line = (f"  {spec.name:40s} per-iter x{pi:6.2f}  "
+                    f"e2e x{e2e:6.2f}  ratio {res.spcg.ratio_percent:g}%")
+            if res.robust is not None:
+                line += (f"  robust={'ok' if res.robust.converged else 'FAIL'}"
+                         f"({res.robust.n_attempts} att)")
+            print(line)
     return out

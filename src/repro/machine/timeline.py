@@ -8,6 +8,7 @@ metrics of Section 5.3 are derived from it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 __all__ = ["KernelEvent", "Timeline"]
 
@@ -37,18 +38,31 @@ class KernelEvent:
 
 @dataclass
 class Timeline:
-    """Append-only sequence of :class:`KernelEvent` with aggregation."""
+    """Append-only sequence of :class:`KernelEvent` with aggregation.
+
+    ``fault_hook`` is the resilience layer's injection point: every
+    event recorded is first passed through it.  The hook may return the
+    event unchanged, return a modified :class:`KernelEvent` (e.g. with
+    an inflated duration to model a retried kernel), return ``None`` to
+    drop the event, or raise :class:`repro.errors.DeviceModelError` to
+    simulate a hard device failure (a lost sync, a timed-out launch).
+    """
 
     events: list[KernelEvent] = field(default_factory=list)
+    fault_hook: Callable[[KernelEvent], KernelEvent | None] | None = None
 
     def record(self, name: str, phase: str, seconds: float,
                flops: float = 0.0, bytes: float = 0.0) -> None:
-        """Append one event."""
+        """Append one event (after passing it through ``fault_hook``)."""
         if seconds < 0:
             raise ValueError("event duration must be non-negative")
-        self.events.append(KernelEvent(name=name, phase=phase,
-                                       seconds=seconds, flops=flops,
-                                       bytes=bytes))
+        ev = KernelEvent(name=name, phase=phase, seconds=seconds,
+                         flops=flops, bytes=bytes)
+        if self.fault_hook is not None:
+            ev = self.fault_hook(ev)
+            if ev is None:
+                return
+        self.events.append(ev)
 
     @property
     def total_seconds(self) -> float:

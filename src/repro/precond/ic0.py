@@ -21,7 +21,7 @@ from .triangular import ScheduledTriangularSolver
 __all__ = ["ic0", "IC0Preconditioner"]
 
 
-def ic0(a: CSRMatrix) -> CSRMatrix:
+def ic0(a: CSRMatrix, *, shift: float = 0.0) -> CSRMatrix:
     """Incomplete Cholesky factorization with zero fill-in.
 
     Parameters
@@ -29,6 +29,11 @@ def ic0(a: CSRMatrix) -> CSRMatrix:
     a:
         Symmetric positive definite CSR matrix (only the lower triangle is
         read; a stored diagonal is required).
+    shift:
+        Relative diagonal shift α: the factorization runs on
+        ``A + α·diag(A)`` (Manteuffel-style shifted IC).  0 disables it;
+        the resilience ladder escalates the shift when plain IC(0)
+        breaks down on a barely-definite or perturbed matrix.
 
     Returns
     -------
@@ -56,6 +61,9 @@ def ic0(a: CSRMatrix) -> CSRMatrix:
             raise SparseFormatError(
                 f"IC(0) requires a stored diagonal entry in row {i}")
         diag_pos[i] = hi - 1
+
+    if shift:
+        vals[diag_pos] *= 1.0 + float(shift)
 
     for i in range(n):
         lo, hi = indptr[i], indptr[i + 1]
@@ -102,8 +110,8 @@ class IC0Preconditioner(Preconditioner):
 
     name = "ic0"
 
-    def __init__(self, a: CSRMatrix):
-        self.factor = ic0(a)
+    def __init__(self, a: CSRMatrix, *, shift: float = 0.0):
+        self.factor = ic0(a, shift=shift)
         self._upper = self.factor.transpose()
         self._fwd = ScheduledTriangularSolver(self.factor, kind="lower",
                                               unit_diagonal=False)

@@ -95,7 +95,8 @@ def _split_factored(a: CSRMatrix, fdata: np.ndarray,
                       factor_flops=factor_flops)
 
 
-def ilu_numeric_inplace(a: CSRMatrix, *, raise_on_zero_pivot: bool = True
+def ilu_numeric_inplace(a: CSRMatrix, *, raise_on_zero_pivot: bool = True,
+                        pivot_boost: float = 1e-8
                         ) -> tuple[np.ndarray, float]:
     """Numeric ILU sweep on a *fixed* pattern.
 
@@ -105,6 +106,12 @@ def ilu_numeric_inplace(a: CSRMatrix, *, raise_on_zero_pivot: bool = True
     :func:`repro.precond.iluk.iluk` (pattern = level-of-fill closure with
     explicit zeros injected at fill positions).  The pattern is never
     extended: this is exactly the "incomplete" in ILU.
+
+    ``pivot_boost`` is the *relative* magnitude (fraction of
+    ``max |A|``) substituted for a zero pivot when
+    ``raise_on_zero_pivot`` is ``False`` — the knob the resilience
+    fallback ladder escalates when a boosted factorization still yields
+    a useless preconditioner.
     """
     n = a.n_rows
     if a.shape[0] != a.shape[1]:
@@ -122,7 +129,7 @@ def ilu_numeric_inplace(a: CSRMatrix, *, raise_on_zero_pivot: bool = True
                 f"ILU(0) requires a stored diagonal entry in row {i}")
         diag_pos[i] = k
 
-    boost = 1e-8 * (np.abs(fdata).max() if fdata.size else 1.0)
+    boost = float(pivot_boost) * (np.abs(fdata).max() if fdata.size else 1.0)
     pos = np.full(n, -1, dtype=np.int64)
     flops = 0.0
     for i in range(n):
@@ -151,12 +158,14 @@ def ilu_numeric_inplace(a: CSRMatrix, *, raise_on_zero_pivot: bool = True
             if raise_on_zero_pivot:
                 pos[row_cols] = -1
                 raise SingularFactorError(i, 0.0)
-            fdata[diag_pos[i]] = boost if boost > 0 else 1e-8
+            fdata[diag_pos[i]] = boost if boost > 0 \
+                else max(float(pivot_boost), 1e-8)
         pos[row_cols] = -1
     return fdata, flops
 
 
-def ilu0(a: CSRMatrix, *, raise_on_zero_pivot: bool = True) -> ILUFactors:
+def ilu0(a: CSRMatrix, *, raise_on_zero_pivot: bool = True,
+         pivot_boost: float = 1e-8) -> ILUFactors:
     """Incomplete LU factorization with zero fill-in.
 
     Parameters
@@ -167,8 +176,11 @@ def ilu0(a: CSRMatrix, *, raise_on_zero_pivot: bool = True) -> ILUFactors:
     raise_on_zero_pivot:
         When ``True`` (default) a zero pivot raises
         :class:`SingularFactorError`; otherwise the pivot is replaced by
-        a small multiple of the largest absolute value in the matrix
+        ``pivot_boost`` times the largest absolute value in the matrix
         (cuSPARSE's boost-style fallback) and factorization continues.
+    pivot_boost:
+        Relative boost magnitude used for the substitution (default
+        1e-8; the resilience ladder escalates it when retrying).
 
     Returns
     -------
@@ -181,7 +193,8 @@ def ilu0(a: CSRMatrix, *, raise_on_zero_pivot: bool = True) -> ILUFactors:
     divisions.
     """
     fdata, flops = ilu_numeric_inplace(
-        a, raise_on_zero_pivot=raise_on_zero_pivot)
+        a, raise_on_zero_pivot=raise_on_zero_pivot,
+        pivot_boost=pivot_boost)
     return _split_factored(a, fdata.astype(a.dtype, copy=False), flops)
 
 
@@ -203,11 +216,13 @@ class ILU0Preconditioner(Preconditioner):
 
     def __init__(self, a: CSRMatrix | None = None, *, scheduled: bool = True,
                  factors: ILUFactors | None = None,
-                 raise_on_zero_pivot: bool = True):
+                 raise_on_zero_pivot: bool = True,
+                 pivot_boost: float = 1e-8):
         if factors is None:
             if a is None:
                 raise ValueError("provide either a matrix or factors")
-            factors = ilu0(a, raise_on_zero_pivot=raise_on_zero_pivot)
+            factors = ilu0(a, raise_on_zero_pivot=raise_on_zero_pivot,
+                           pivot_boost=pivot_boost)
         self.factors = factors
         self.scheduled = bool(scheduled)
         self._fwd = ScheduledTriangularSolver(

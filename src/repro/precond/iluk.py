@@ -173,8 +173,8 @@ def iluk_symbolic(a: CSRMatrix, k: int, *,
     return SymbolicILU(pattern=pattern, fill_level=all_levs, k=k)
 
 
-def iluk(a: CSRMatrix, k: int, *, raise_on_zero_pivot: bool = True
-         ) -> ILUFactors:
+def iluk(a: CSRMatrix, k: int, *, raise_on_zero_pivot: bool = True,
+         pivot_boost: float = 1e-8) -> ILUFactors:
     """Incomplete LU factorization with level-of-fill bound *k*.
 
     Equivalent to ILU(0) on the fill-extended pattern returned by
@@ -182,7 +182,8 @@ def iluk(a: CSRMatrix, k: int, *, raise_on_zero_pivot: bool = True
     """
     sym = iluk_symbolic(a, k)
     fdata, flops = ilu_numeric_inplace(
-        sym.pattern, raise_on_zero_pivot=raise_on_zero_pivot)
+        sym.pattern, raise_on_zero_pivot=raise_on_zero_pivot,
+        pivot_boost=pivot_boost)
     return _split_factored(sym.pattern, fdata.astype(a.dtype, copy=False),
                            flops)
 
@@ -202,11 +203,13 @@ class ILUKPreconditioner(Preconditioner):
 
     def __init__(self, a: CSRMatrix | None = None, k: int = 1, *,
                  factors: ILUFactors | None = None,
-                 raise_on_zero_pivot: bool = True):
+                 raise_on_zero_pivot: bool = True,
+                 pivot_boost: float = 1e-8):
         if factors is None:
             if a is None:
                 raise ValueError("provide either a matrix or factors")
-            factors = iluk(a, k, raise_on_zero_pivot=raise_on_zero_pivot)
+            factors = iluk(a, k, raise_on_zero_pivot=raise_on_zero_pivot,
+                           pivot_boost=pivot_boost)
         self.factors = factors
         self.k = int(k)
         self._fwd = ScheduledTriangularSolver(

@@ -1,0 +1,396 @@
+"""`robust_spcg`: a retry/fallback ladder around the SPCG pipeline.
+
+The paper's protocol simply *drops* configurations that fail to converge
+(Section 4).  A production solve cannot: it must degrade gracefully and
+report what happened.  :func:`robust_spcg` runs the ladder
+
+    Algorithm-2 chosen ratio → most conservative ratio →
+    unsparsified ILU → IC(0) → Jacobi → plain CG
+
+with, at every rung, (1) a :class:`~repro.resilience.guards.ResidualGuard`
+that aborts diverging or stagnating attempts early, (2) per-attempt
+budgets in iterations *and modeled seconds* (priced by the machine
+model, so a rung whose per-iteration cost is high gets proportionally
+fewer iterations), and (3) in-rung escalation: a zero pivot retries the
+same rung with cuSPARSE-style pivot boosting, an IC(0) breakdown retries
+with a Manteuffel diagonal shift, and transient faults (NaN injection,
+sync failures) earn one same-rung retry before the ladder descends.
+
+Every attempt is recorded in a structured :class:`RobustSolveReport`
+naming its failure class and the rung that finally recovered — the
+input the suite aggregates into a failure taxonomy and recovery rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..core.sparsify import sparsify_magnitude
+from ..core.spcg import make_preconditioner
+from ..core.wavefront_aware import (SparsificationDecision,
+                                    wavefront_aware_sparsify)
+from ..errors import ReproError
+from ..machine.device import A100, DeviceModel
+from ..machine.kernels import iteration_cost
+from ..precond.identity import IdentityPreconditioner
+from ..solvers.cg import pcg
+from ..solvers.result import SolveResult
+from ..solvers.stopping import StoppingCriterion
+from ..sparse.csr import CSRMatrix
+from .guards import FailureClass, GuardConfig, ResidualGuard, classify_failure
+
+__all__ = ["FallbackRung", "FallbackPolicy", "AttemptRecord",
+           "RobustSolveReport", "default_ladder", "robust_spcg"]
+
+#: Failure classes worth one same-rung retry (the fault may be transient).
+_TRANSIENT = frozenset({FailureClass.NAN_OR_INF, FailureClass.SYNC_FAILURE})
+
+
+@dataclass(frozen=True)
+class FallbackRung:
+    """One rung of the ladder.
+
+    Attributes
+    ----------
+    name:
+        Rung identifier — also the scope key fault plans match against.
+    method:
+        ``"spcg"`` (Algorithm-2 chosen ratio), ``"spcg-fixed"`` (fixed
+        *ratio*), ``"pcg"`` (unsparsified preconditioner) or ``"cg"``.
+    precond:
+        Preconditioner kind for the first three methods.
+    ratio:
+        Sparsification percentage for ``"spcg-fixed"``.
+    k:
+        Fill level when *precond* is ``"iluk"``.
+    """
+
+    name: str
+    method: str
+    precond: str | None = None
+    ratio: float | None = None
+    k: int = 1
+
+
+def default_ladder(preconditioner: str = "ilu0", *, k: int = 1,
+                   ratios: tuple[float, ...] = (10.0, 5.0, 1.0)
+                   ) -> tuple[FallbackRung, ...]:
+    """The default chosen→safe→full→IC0→Jacobi→CG ladder.
+
+    Rungs that would duplicate an earlier one (e.g. the unsparsified
+    rung when *preconditioner* is already ``"ic0"``) are elided.
+    """
+    rungs = [
+        FallbackRung("spcg", "spcg", preconditioner, k=k),
+        FallbackRung("spcg-safe", "spcg-fixed", preconditioner,
+                     ratio=float(min(ratios)), k=k),
+        FallbackRung("full", "pcg", preconditioner, k=k),
+    ]
+    if preconditioner != "ic0":
+        rungs.append(FallbackRung("ic0", "pcg", "ic0"))
+    if preconditioner != "jacobi":
+        rungs.append(FallbackRung("jacobi", "pcg", "jacobi"))
+    rungs.append(FallbackRung("cg", "cg"))
+    return tuple(rungs)
+
+
+@dataclass(frozen=True)
+class FallbackPolicy:
+    """Knobs of the fallback ladder.
+
+    Attributes
+    ----------
+    rungs:
+        The ladder; :func:`default_ladder` (built from the call-site
+        preconditioner/ratios) when ``None``.
+    max_iters_per_attempt:
+        Iteration cap per attempt (the criterion's cap when ``None``).
+    seconds_budget_per_attempt:
+        Modeled wall-clock budget per attempt; translated into an extra
+        iteration cap via the machine model's per-iteration cost on
+        *device*.  ``None`` disables it.
+    device:
+        Machine model pricing the seconds budget.
+    guard:
+        Health-monitor thresholds (see :class:`GuardConfig`).
+    pivot_boost_retry:
+        Retry a rung whose factorization hit a zero pivot with boosting
+        enabled (magnitude *pivot_boost*).
+    pivot_boost:
+        Relative boost magnitude for the escalated retry.
+    ic0_shift_retry:
+        Retry an IC(0) breakdown with diagonal shift *ic0_shift*.
+    ic0_shift:
+        Relative Manteuffel shift for the escalated retry.
+    transient_retries:
+        Same-rung retries earned by transient failure classes
+        (NaN/Inf injection, sync failures).
+    """
+
+    rungs: tuple[FallbackRung, ...] | None = None
+    max_iters_per_attempt: int | None = None
+    seconds_budget_per_attempt: float | None = None
+    device: DeviceModel = A100
+    guard: GuardConfig = field(default_factory=GuardConfig)
+    pivot_boost_retry: bool = True
+    pivot_boost: float = 1e-4
+    ic0_shift_retry: bool = True
+    ic0_shift: float = 1e-2
+    transient_retries: int = 1
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One attempt of the ladder (one build + solve)."""
+
+    rung: str
+    method: str
+    preconditioner: str | None
+    ratio_percent: float
+    converged: bool
+    n_iters: int
+    final_residual: float
+    failure: FailureClass | None
+    detail: str = ""
+    pivot_boosted: bool = False
+    shifted: bool = False
+    modeled_seconds: float = float("nan")
+
+    @property
+    def failure_name(self) -> str:
+        """Taxonomy string (empty when the attempt converged)."""
+        return self.failure.value if self.failure is not None else ""
+
+
+@dataclass
+class RobustSolveReport:
+    """Structured outcome of :func:`robust_spcg`.
+
+    Attributes
+    ----------
+    attempts:
+        Every attempt in execution order, failed ones included.
+    result:
+        The converged :class:`SolveResult`, or the best-effort result of
+        the attempt with the smallest final residual when nothing
+        converged (``None`` only if every attempt died before solving).
+    converged:
+        Whether any rung met the tolerance.
+    recovered_by:
+        Name of the rung that converged (``None`` when none did).
+    decision:
+        Algorithm 2's diagnostic for the first rung (``None`` when the
+        ladder never ran an ``"spcg"`` rung).
+    """
+
+    attempts: list[AttemptRecord]
+    result: SolveResult | None
+    converged: bool
+    recovered_by: str | None
+    decision: SparsificationDecision | None = None
+
+    @property
+    def x(self) -> np.ndarray | None:
+        """Best-effort solution vector."""
+        return self.result.x if self.result is not None else None
+
+    @property
+    def n_attempts(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def recovered(self) -> bool:
+        """Converged only after at least one failed attempt."""
+        return self.converged and len(self.attempts) > 1
+
+    @property
+    def failure_classes(self) -> tuple[str, ...]:
+        """Failure-class names of the failed attempts, in order."""
+        return tuple(a.failure_name for a in self.attempts
+                     if a.failure is not None)
+
+    def summary(self) -> str:
+        """One line per attempt, human-readable."""
+        lines = []
+        for a in self.attempts:
+            status = "converged" if a.converged else a.failure_name
+            extras = "".join([" [boosted]" if a.pivot_boosted else "",
+                              " [shifted]" if a.shifted else ""])
+            lines.append(f"{a.rung:10s} {a.method:10s} "
+                         f"iters={a.n_iters:4d} "
+                         f"residual={a.final_residual:.3e} "
+                         f"{status}{extras}")
+        tail = (f"recovered by {self.recovered_by!r}" if self.converged
+                else "all rungs failed")
+        return "\n".join(lines + [tail])
+
+
+def _attempt_criterion(crit: StoppingCriterion, policy: FallbackPolicy,
+                       per_iter_seconds: float) -> StoppingCriterion:
+    """Per-attempt stopping rule: tolerance unchanged, cap tightened by
+    the policy's iteration and modeled-seconds budgets."""
+    cap = policy.max_iters_per_attempt or crit.max_iters
+    budget = policy.seconds_budget_per_attempt
+    if budget is not None and per_iter_seconds > 0:
+        cap = min(cap, max(1, int(budget / per_iter_seconds)))
+    if cap == crit.max_iters:
+        return crit
+    return replace(crit, max_iters=int(cap))
+
+
+def robust_spcg(a: CSRMatrix, b: np.ndarray, *,
+                policy: FallbackPolicy | None = None,
+                preconditioner: str = "ilu0", k: int = 1,
+                tau: float = 1.0, omega: float = 10.0,
+                ratios: tuple[float, ...] = (10.0, 5.0, 1.0),
+                criterion: StoppingCriterion | None = None,
+                x0: np.ndarray | None = None,
+                callback=None, fault_plan=None) -> RobustSolveReport:
+    """Solve ``A x = b``, falling back until something converges.
+
+    Parameters match :func:`repro.core.spcg.spcg` plus:
+
+    policy:
+        :class:`FallbackPolicy` (defaults: full ladder, pivot-boost and
+        shift escalation, one transient retry, guards on).
+    callback:
+        Chained in front of the health guard of every attempt.
+    fault_plan:
+        A :class:`~repro.resilience.faults.FaultPlan` threaded through
+        every rung (fault scopes match rung names) — the testability
+        hook that makes the ladder's recovery claims verifiable.
+
+    Returns
+    -------
+    RobustSolveReport
+        Never raises on failure; ``report.converged`` and
+        ``report.attempts`` carry the full story.
+    """
+    policy = policy or FallbackPolicy()
+    crit = criterion or StoppingCriterion.paper_default()
+    rungs = policy.rungs or default_ladder(preconditioner, k=k,
+                                           ratios=ratios)
+    b = np.asarray(b)
+    b_norm = float(np.linalg.norm(b))
+    guard_cfg = policy.guard
+    if guard_cfg.floor < crit.threshold(b_norm):
+        guard_cfg = replace(guard_cfg, floor=crit.threshold(b_norm))
+
+    attempts: list[AttemptRecord] = []
+    decision: SparsificationDecision | None = None
+    best: SolveResult | None = None
+
+    def record(rung: FallbackRung, ratio: float, *, boosted=False,
+               shifted=False, solve: SolveResult | None = None,
+               exc: BaseException | None = None,
+               seconds: float = float("nan")) -> FailureClass | None:
+        nonlocal best
+        if solve is not None:
+            failure = classify_failure(solve)
+            n_iters, resid = solve.n_iters, solve.final_residual
+            detail = solve.reason.value
+            if solve.converged or best is None or (
+                    np.isfinite(resid)
+                    and resid < (best.final_residual
+                                 if np.isfinite(best.final_residual)
+                                 else np.inf)):
+                best = solve
+        else:
+            failure = classify_failure(exc)
+            n_iters, resid = 0, float("nan")
+            detail = f"{type(exc).__name__}: {exc}"
+        attempts.append(AttemptRecord(
+            rung=rung.name, method=rung.method,
+            preconditioner=rung.precond, ratio_percent=ratio,
+            converged=solve is not None and solve.converged,
+            n_iters=n_iters, final_residual=resid, failure=failure,
+            detail=detail, pivot_boosted=boosted, shifted=shifted,
+            modeled_seconds=seconds))
+        return failure
+
+    def run_once(rung: FallbackRung, *, boosted: bool,
+                 shifted: bool) -> FailureClass | None:
+        """One build + solve; returns the failure class (None = success)."""
+        nonlocal decision
+        # -- matrix selection ------------------------------------------
+        ratio = 0.0
+        try:
+            if rung.method == "spcg":
+                if decision is None:
+                    decision = wavefront_aware_sparsify(
+                        a, tau=tau, omega=omega, ratios=ratios)
+                m_mat, ratio = decision.a_hat, decision.chosen_ratio
+            elif rung.method == "spcg-fixed":
+                ratio = float(rung.ratio if rung.ratio is not None
+                              else min(ratios))
+                m_mat = sparsify_magnitude(a, ratio).a_hat
+            else:
+                m_mat = a
+            if fault_plan is not None and rung.method != "cg":
+                m_mat = fault_plan.corrupt_matrix(m_mat, rung.name)
+
+            # -- preconditioner build ----------------------------------
+            if rung.method == "cg":
+                m = None
+            else:
+                kwargs: dict = {"k": rung.k}
+                if rung.precond in ("ilu0", "iluk"):
+                    kwargs["raise_on_zero_pivot"] = not boosted
+                    if boosted:
+                        kwargs["pivot_boost"] = policy.pivot_boost
+                if rung.precond == "ic0" and shifted:
+                    kwargs["shift"] = policy.ic0_shift
+                m = make_preconditioner(m_mat, rung.precond, **kwargs)
+                if fault_plan is not None:
+                    m = fault_plan.wrap_preconditioner(m, rung.name)
+        except (ReproError, FloatingPointError, ZeroDivisionError) as exc:
+            return record(rung, ratio, boosted=boosted, shifted=shifted,
+                          exc=exc)
+
+        # -- budgets and solve -----------------------------------------
+        cost = iteration_cost(
+            policy.device, a,
+            m if m is not None else IdentityPreconditioner(a.n_rows)).total
+        attempt_crit = _attempt_criterion(crit, policy, cost)
+        guard = ResidualGuard(guard_cfg, chain=callback)
+        try:
+            solve = pcg(a, b, m, criterion=attempt_crit, x0=x0,
+                        callback=guard)
+        except (ReproError, FloatingPointError, ZeroDivisionError) as exc:
+            return record(rung, ratio, boosted=boosted, shifted=shifted,
+                          exc=exc)
+        return record(rung, ratio, boosted=boosted, shifted=shifted,
+                      solve=solve, seconds=solve.n_iters * cost)
+
+    recovered_by: str | None = None
+    for rung in rungs:
+        boosted = shifted = False
+        transient_left = policy.transient_retries
+        while True:
+            failure = run_once(rung, boosted=boosted, shifted=shifted)
+            if failure is None:
+                recovered_by = rung.name
+                break
+            # -- in-rung escalation ------------------------------------
+            if failure is FailureClass.ZERO_PIVOT and not boosted \
+                    and policy.pivot_boost_retry \
+                    and rung.precond in ("ilu0", "iluk"):
+                boosted = True
+                continue
+            if failure is FailureClass.INDEFINITE and not shifted \
+                    and policy.ic0_shift_retry and rung.precond == "ic0":
+                shifted = True
+                continue
+            if failure in _TRANSIENT and transient_left > 0:
+                transient_left -= 1
+                continue
+            break
+        if recovered_by is not None:
+            break
+
+    return RobustSolveReport(
+        attempts=attempts, result=best,
+        converged=recovered_by is not None,
+        recovered_by=recovered_by, decision=decision)

@@ -23,7 +23,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..errors import ShapeError
+from ..errors import AbortSolve, ShapeError
 from ..precond.base import Preconditioner
 from ..precond.identity import IdentityPreconditioner
 from ..sparse.csr import CSRMatrix
@@ -56,6 +56,11 @@ def pcg(a: CSRMatrix, b: np.ndarray, preconditioner: Preconditioner | None
         when ``None``.
     callback:
         Invoked as ``callback(k, r_norm)`` after each convergence check.
+        A callback may raise :class:`repro.errors.AbortSolve` (or a
+        subclass, e.g. a :class:`repro.resilience.GuardTrip`) to stop
+        the iteration early; the solve then returns a best-effort
+        result with reason ``GUARD_TRIPPED`` and the exception stored
+        under ``result.extra["abort"]``.
 
     Returns
     -------
@@ -88,7 +93,14 @@ def pcg(a: CSRMatrix, b: np.ndarray, preconditioner: Preconditioner | None
     r = b.astype(dtype, copy=True) if not x.any() else b - a.matvec(x)
     res_norms = [float(np.linalg.norm(r))]
     if callback is not None:
-        callback(0, res_norms[0])
+        try:
+            callback(0, res_norms[0])
+        except AbortSolve as exc:
+            return SolveResult(x=x, converged=False, n_iters=0,
+                               residual_norms=np.array(res_norms),
+                               reason=TerminationReason.GUARD_TRIPPED,
+                               tolerance=threshold,
+                               extra={"abort": exc})
     if crit.is_met(res_norms[0], b_norm):
         return SolveResult(x=x, converged=True, n_iters=0,
                            residual_norms=np.array(res_norms),
@@ -105,6 +117,7 @@ def pcg(a: CSRMatrix, b: np.ndarray, preconditioner: Preconditioner | None
                            tolerance=threshold)
 
     reason = TerminationReason.MAX_ITERATIONS
+    abort: AbortSolve | None = None
     k = 0
     for k in range(1, crit.max_iters + 1):
         w = a.matvec(p)
@@ -123,7 +136,12 @@ def pcg(a: CSRMatrix, b: np.ndarray, preconditioner: Preconditioner | None
         r_norm = float(np.linalg.norm(r))
         res_norms.append(r_norm)
         if callback is not None:
-            callback(k, r_norm)
+            try:
+                callback(k, r_norm)
+            except AbortSolve as exc:
+                reason = TerminationReason.GUARD_TRIPPED
+                abort = exc
+                break
         if not np.isfinite(r_norm):
             reason = TerminationReason.NUMERICAL_BREAKDOWN
             break
@@ -146,6 +164,7 @@ def pcg(a: CSRMatrix, b: np.ndarray, preconditioner: Preconditioner | None
         residual_norms=np.asarray(res_norms),
         reason=reason,
         tolerance=threshold,
+        extra={"abort": abort} if abort is not None else {},
     )
 
 

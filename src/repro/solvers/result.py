@@ -21,6 +21,9 @@ class TerminationReason(enum.Enum):
     INDEFINITE = "indefinite"
     #: NaN/Inf appeared in the iteration (the paper excludes such runs).
     NUMERICAL_BREAKDOWN = "breakdown"
+    #: A callback raised :class:`repro.errors.AbortSolve` — a health
+    #: guard stopped the iteration (divergence/stagnation detection).
+    GUARD_TRIPPED = "guard_tripped"
 
 
 @dataclass

@@ -8,9 +8,12 @@ relative experiments are expressible.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
+
+from ..errors import InvalidCriterionError
 
 __all__ = ["StoppingCriterion"]
 
@@ -35,12 +38,22 @@ class StoppingCriterion:
     max_iters: int = 1000
 
     def __post_init__(self):
+        for name, tol in (("rtol", self.rtol), ("atol", self.atol)):
+            if not isinstance(tol, (int, float)) or math.isnan(tol) \
+                    or math.isinf(tol):
+                raise InvalidCriterionError(
+                    f"{name} must be a finite number, got {tol!r}")
         if self.rtol < 0 or self.atol < 0:
-            raise ValueError("tolerances must be non-negative")
+            raise InvalidCriterionError("tolerances must be non-negative")
         if self.rtol == 0 and self.atol == 0:
-            raise ValueError("at least one of rtol/atol must be positive")
+            raise InvalidCriterionError(
+                "at least one of rtol/atol must be positive")
+        if not isinstance(self.max_iters, (int, np.integer)) \
+                or isinstance(self.max_iters, bool):
+            raise InvalidCriterionError(
+                f"max_iters must be an integer, got {self.max_iters!r}")
         if self.max_iters < 1:
-            raise ValueError("max_iters must be at least 1")
+            raise InvalidCriterionError("max_iters must be at least 1")
 
     def threshold(self, b_norm: float) -> float:
         """Absolute residual threshold for a right-hand side of norm

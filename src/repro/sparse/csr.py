@@ -159,7 +159,6 @@ class CSRMatrix:
     def transpose(self) -> "CSRMatrix":
         """Return the transpose as a new canonical CSR matrix."""
         n, m = self.shape
-        nnz = self.nnz
         rows = np.repeat(np.arange(n, dtype=np.int64), self.row_lengths())
         # Stable counting sort by column gives the transpose's row order;
         # within a column the original row order is already ascending, so

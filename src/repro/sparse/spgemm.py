@@ -12,7 +12,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ShapeError
-from .coo import COOMatrix
 from .csr import CSRMatrix
 
 __all__ = ["spgemm"]

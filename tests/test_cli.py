@@ -1,6 +1,5 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.__main__ import main
@@ -47,6 +46,16 @@ class TestSolveCommand:
         rc = main(["solve", str(path), "--precond", "iluk", "--k", "2"])
         assert rc == 0
 
+    def test_robust_flag(self, tmp_path, capsys):
+        a = stencil_poisson_2d(12)
+        path = tmp_path / "r.mtx"
+        write_matrix_market(path, a, symmetric=True)
+        rc = main(["solve", str(path), "--robust"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "recovered by 'spcg'" in out
+        assert "converged=True" in out
+
 
 class TestSuiteCommand:
     def test_quick_suite(self, capsys):
@@ -59,6 +68,14 @@ class TestSuiteCommand:
         rc = main(["suite", "--category", "thermal", "--limit", "1",
                    "--fast", "--quiet"])
         assert rc == 0
+
+    def test_robust_suite(self, capsys):
+        rc = main(["suite", "--limit", "2", "--fast", "--quiet",
+                   "--robust"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "robust:" in out
+        assert "recovery rate" in out
 
     def test_empty_selection_fails(self, capsys):
         rc = main(["suite", "--category", "nope", "--fast", "--quiet"])

@@ -4,13 +4,13 @@ driver, and the oracle selector."""
 import numpy as np
 import pytest
 
-from repro.core import (oracle_select, spcg, sparsify_magnitude,
+from repro.core import (oracle_select, spcg,
                         wavefront_aware_sparsify)
 from repro.core.spcg import make_preconditioner
 from repro.graph import wavefront_count
 from repro.machine import A100
 from repro.precond import ILU0Preconditioner
-from repro.sparse import CSRMatrix, stencil_poisson_2d
+from repro.sparse import stencil_poisson_2d
 from repro.solvers import StoppingCriterion
 
 

@@ -7,7 +7,7 @@ from repro.core import (condition_number_proxy, convergence_indicator,
                         exact_condition_number, exact_inverse_norm,
                         inverse_norm_estimate, sparsify_magnitude)
 from repro.errors import NotSymmetricError, ShapeError
-from repro.sparse import CSRMatrix, add, is_symmetric, random_spd
+from repro.sparse import CSRMatrix, add, is_symmetric
 
 
 class TestSparsifyMagnitude:

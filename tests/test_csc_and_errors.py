@@ -9,7 +9,7 @@ from repro.errors import (ConvergenceError, DatasetError, DeviceModelError,
                           NotPositiveDefiniteError, NotSymmetricError,
                           NotTriangularError, ReproError, ShapeError,
                           SingularFactorError, SparseFormatError)
-from repro.sparse import CSCMatrix, CSRMatrix
+from repro.sparse import CSCMatrix
 
 from conftest import random_csr
 

@@ -135,7 +135,7 @@ class TestRegistry:
     def test_register_external(self, tmp_path, poisson16):
         path = tmp_path / "ext.mtx"
         write_matrix_market(path, poisson16, symmetric=True)
-        spec = register_external("my_external_test", path)
+        register_external("my_external_test", path)
         try:
             a = load("my_external_test", cache=False)
             np.testing.assert_allclose(a.to_dense(), poisson16.to_dense())

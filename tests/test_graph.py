@@ -8,11 +8,9 @@ from repro.graph import (dependence_dag, level_schedule,
                          level_schedule_reference, wavefront_count,
                          wavefront_reduction_percent, wavefront_stats)
 from repro.sparse import CSRMatrix, eye, stencil_poisson_2d
-from repro.sparse.ops import extract_lower, extract_upper
 
 nx = pytest.importorskip("networkx")
 
-from conftest import random_csr
 
 
 def random_lower(rng, n, density=0.2):

@@ -10,7 +10,6 @@ from repro.machine import (A100, EPYC_7413, V100, DeviceModel,
                            time_ilu_factorization, time_sparsification,
                            time_spmv, time_trisolve)
 from repro.precond import ILU0Preconditioner, JacobiPreconditioner
-from repro.sparse import stencil_poisson_2d
 
 
 class TestDeviceModel:

@@ -1,7 +1,6 @@
 """Additional property-based tests for the extension modules."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graph import aggregate_levels, level_schedule

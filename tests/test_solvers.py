@@ -3,11 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.errors import ShapeError
+from repro.errors import AbortSolve, InvalidCriterionError, ReproError, \
+    ShapeError
 from repro.precond import ILU0Preconditioner, IdentityPreconditioner
 from repro.solvers import (SolveResult, StoppingCriterion,
                            TerminationReason, cg, pcg)
-from repro.sparse import CSRMatrix, random_spd, stencil_poisson_2d
+from repro.sparse import CSRMatrix, random_spd
 
 spla = pytest.importorskip("scipy.sparse.linalg")
 sp = pytest.importorskip("scipy.sparse")
@@ -38,6 +39,31 @@ class TestStoppingCriterion:
             StoppingCriterion(rtol=-1.0)
         with pytest.raises(ValueError):
             StoppingCriterion(max_iters=0)
+
+    def test_invalid_criterion_error_type(self):
+        # The dedicated subclass is both a ReproError and a ValueError,
+        # so library-wide handlers and stdlib-style callers both catch it.
+        with pytest.raises(InvalidCriterionError):
+            StoppingCriterion(rtol=0.0, atol=0.0)
+        assert issubclass(InvalidCriterionError, ReproError)
+        assert issubclass(InvalidCriterionError, ValueError)
+
+    def test_nonfinite_tolerances_rejected(self):
+        with pytest.raises(InvalidCriterionError):
+            StoppingCriterion(rtol=float("nan"))
+        with pytest.raises(InvalidCriterionError):
+            StoppingCriterion(atol=float("inf"))
+        with pytest.raises(InvalidCriterionError):
+            StoppingCriterion(atol=-1e-12)
+
+    def test_max_iters_type_checked(self):
+        with pytest.raises(InvalidCriterionError):
+            StoppingCriterion(max_iters=2.5)
+        with pytest.raises(InvalidCriterionError):
+            StoppingCriterion(max_iters=True)
+        # np.integer values (e.g. computed budgets) are acceptable.
+        c = StoppingCriterion(max_iters=np.int64(7))
+        assert c.max_iters == 7
 
 
 class TestCG:
@@ -158,6 +184,93 @@ class TestPCG:
                   criterion=StoppingCriterion(rtol=1e-5, atol=0.0))
         assert res.converged
         assert res.x.dtype == np.float32
+
+
+class TestPCGBreakdownPaths:
+    """The non-converged exits of Algorithm 1, exercised directly."""
+
+    def test_nan_in_curvature_breaks_down(self, poisson16):
+        # A NaN matrix entry first surfaces in w = A·p, so the p·w
+        # curvature check is the line that must catch it.
+        data = poisson16.data.copy()
+        data[1] = float("nan")
+        a = CSRMatrix(poisson16.indptr, poisson16.indices, data,
+                      poisson16.shape, check=False)
+        res = pcg(a, np.ones(a.n_rows))
+        assert not res.converged
+        assert res.reason is TerminationReason.NUMERICAL_BREAKDOWN
+        assert res.n_iters == 0
+
+    def test_nan_preconditioner_breaks_down_at_start(self, poisson16):
+        class NaNPreconditioner(IdentityPreconditioner):
+            def apply(self, r, out=None):
+                return np.full_like(r, np.nan)
+
+        b = poisson16.matvec(np.ones(poisson16.n_rows))
+        res = pcg(poisson16, b, NaNPreconditioner(poisson16.n_rows))
+        assert not res.converged
+        assert res.reason is TerminationReason.NUMERICAL_BREAKDOWN
+        assert res.n_iters == 0
+
+    def test_nan_preconditioner_mid_iteration(self, poisson16):
+        class FlakyPreconditioner(IdentityPreconditioner):
+            applies = 0
+
+            def apply(self, r, out=None):
+                FlakyPreconditioner.applies += 1
+                if FlakyPreconditioner.applies == 4:
+                    return np.full_like(r, np.nan)
+                return super().apply(r, out=out)
+
+        b = poisson16.matvec(np.ones(poisson16.n_rows))
+        res = pcg(poisson16, b, FlakyPreconditioner(poisson16.n_rows))
+        assert not res.converged
+        assert res.reason is TerminationReason.NUMERICAL_BREAKDOWN
+        assert res.n_iters == 3
+
+    def test_indefinite_with_preconditioner(self):
+        a = CSRMatrix.from_dense(np.diag([1.0, -1.0, 2.0]))
+        res = pcg(a, np.ones(3), IdentityPreconditioner(3))
+        assert not res.converged
+        assert res.reason is TerminationReason.INDEFINITE
+
+    def test_zero_rhs_immediate_with_ilu0(self, poisson16):
+        res = pcg(poisson16, np.zeros(poisson16.n_rows),
+                  ILU0Preconditioner(poisson16))
+        assert res.converged
+        assert res.n_iters == 0
+        assert res.reason is TerminationReason.CONVERGED
+
+    def test_exact_x0_early_return_with_ilu0(self, poisson16):
+        x_true = np.ones(poisson16.n_rows)
+        b = poisson16.matvec(x_true)
+        res = pcg(poisson16, b, ILU0Preconditioner(poisson16), x0=x_true)
+        assert res.converged
+        assert res.n_iters == 0
+
+    def test_callback_abort_at_start(self, poisson16):
+        def bail(k, _r):
+            raise AbortSolve("immediately")
+
+        b = poisson16.matvec(np.ones(poisson16.n_rows))
+        res = pcg(poisson16, b, callback=bail)
+        assert not res.converged
+        assert res.reason is TerminationReason.GUARD_TRIPPED
+        assert res.n_iters == 0
+        assert isinstance(res.extra["abort"], AbortSolve)
+
+    def test_callback_abort_mid_loop_keeps_iterate(self, poisson16):
+        def bail(k, _r):
+            if k >= 5:
+                raise AbortSolve("enough")
+
+        b = poisson16.matvec(np.ones(poisson16.n_rows))
+        res = pcg(poisson16, b, callback=bail)
+        assert res.reason is TerminationReason.GUARD_TRIPPED
+        assert res.n_iters == 5
+        # Best-effort iterate, not the zero initial guess.
+        assert float(np.linalg.norm(res.x)) > 0
+        assert len(res.residual_norms) == 6
 
 
 class TestSolveResult:

@@ -15,17 +15,17 @@ The wall-clock benchmark times the aggregation transformation.
 """
 
 import numpy as np
-from conftest import emit
+from conftest import emit, study_names
 
 from repro.core import wavefront_aware_sparsify
-from repro.datasets import SUITE, load
+from repro.datasets import load
 from repro.graph import aggregate_levels
 from repro.harness import render_table
 from repro.machine import A100, time_trisolve, time_trisolve_aggregated
 from repro.precond import ILU0Preconditioner
 from repro.util import gmean
 
-NAMES = [s.name for s in SUITE if s.n <= 1156]
+NAMES = study_names()
 
 
 def _apply_times(m: ILU0Preconditioner) -> tuple[float, float]:

@@ -6,14 +6,14 @@ two statistics on the registry's closest structural stand-in, and
 benchmark the sparsifier kernel itself.
 """
 
-from conftest import emit
+from conftest import emit, scaled_matrix
 
 from repro.core import sparsify_magnitude
 from repro.datasets import load
 from repro.graph import wavefront_count
 from repro.harness import render_table
 
-MATRIX = "structural_2500_s104"
+MATRIX = scaled_matrix("structural_2500_s104")
 
 
 def test_fig03_sparsification_pattern(benchmark):

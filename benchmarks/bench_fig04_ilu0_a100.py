@@ -14,14 +14,14 @@ the measured analogue of the modeled speedup.
 
 import numpy as np
 import pytest
-from conftest import emit
+from conftest import emit, scaled_matrix
 
 from repro.core import wavefront_aware_sparsify
 from repro.datasets import load
 from repro.harness import render_histogram, render_scatter, render_table
 from repro.precond import ILU0Preconditioner
 
-REPRESENTATIVE = "thermal_1600_s102"
+REPRESENTATIVE = scaled_matrix("thermal_1600_s102")
 
 
 def test_fig04_report(ilu0_suite, benchmark):

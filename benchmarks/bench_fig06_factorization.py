@@ -10,7 +10,7 @@ vectorized IKJ sweep) on A vs the 10 %-sparsified Â.
 
 import numpy as np
 import pytest
-from conftest import emit
+from conftest import emit, scaled_matrix
 
 from repro.core import sparsify_magnitude
 from repro.datasets import load
@@ -19,7 +19,7 @@ from repro.machine import A100, time_ilu_factorization
 from repro.precond import ILU0Preconditioner, ilu0
 from repro.util import gmean
 
-REPRESENTATIVE = "graphics_1600_s102"
+REPRESENTATIVE = scaled_matrix("graphics_1600_s102")
 
 
 def _factor_time(m: ILU0Preconditioner) -> float:

@@ -9,7 +9,7 @@ the heuristics keep low).
 """
 
 import numpy as np
-from conftest import emit
+from conftest import emit, scaled_matrix
 
 from repro.core import wavefront_aware_sparsify
 from repro.datasets import load
@@ -44,5 +44,5 @@ def test_fig07_report(iluk_suite, benchmark):
 
 
 def test_fig07_bench_algorithm2(benchmark):
-    a = load("graphics_1156_s101")
+    a = load(scaled_matrix("graphics_1156_s101"))
     benchmark(wavefront_aware_sparsify, a)

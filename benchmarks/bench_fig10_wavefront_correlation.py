@@ -8,7 +8,7 @@ The wall-clock benchmark times the vectorized level scheduler, the
 inspector whose output both axes derive from.
 """
 
-from conftest import emit
+from conftest import emit, scaled_matrix
 
 from repro.datasets import load
 from repro.graph import level_schedule
@@ -45,5 +45,5 @@ def test_fig10b_iluk(iluk_suite, benchmark):
 
 
 def test_fig10_bench_level_schedule(benchmark):
-    low = extract_lower(load("statmath_1600_s102"))
+    low = extract_lower(load(scaled_matrix("statmath_1600_s102")))
     benchmark(level_schedule, low)

@@ -9,12 +9,11 @@ grid point, asserting the paper's pick lies on the speedup frontier.
 The wall-clock benchmark times one grid point's selection pass.
 """
 
-from conftest import emit
+from conftest import emit, study_names
 
-from repro.datasets import SUITE
 from repro.harness import grid_search_thresholds, render_table
 
-NAMES = [s.name for s in SUITE if s.n == 900]
+NAMES = study_names(max_n=900)
 
 TAUS = (0.25, 0.5, 1.0, 2.0)
 OMEGAS = (5.0, 10.0, 20.0)

@@ -17,17 +17,17 @@ The wall-clock benchmark times the cheap indicator vs the exact one.
 
 import numpy as np
 import pytest
-from conftest import emit
+from conftest import emit, study_names
 
 from repro.core import (convergence_indicator, sparsify_magnitude,
                         wavefront_aware_sparsify)
 from repro.core.spcg import make_preconditioner
-from repro.datasets import SUITE, load
+from repro.datasets import load
 from repro.graph import wavefront_count
 from repro.harness import render_table
 from repro.solvers import StoppingCriterion, pcg
 
-SMALL = [s.name for s in SUITE if s.n <= 1156]
+SMALL = study_names()
 
 
 def test_ratio_ladder_extremes(benchmark):
@@ -87,7 +87,7 @@ def test_exact_vs_approximate_indicator(benchmark):
     crit = StoppingCriterion.paper_default()
     speed_approx, speed_exact = [], []
     conv_approx = conv_exact = 0
-    names = [s.name for s in SUITE if s.n <= 1000][:20]
+    names = study_names(max_n=1000)[:20]
     from repro.machine import A100, iteration_cost
 
     for name in names:

@@ -10,14 +10,14 @@ The wall-clock benchmark times the block-rank probe.
 """
 
 import numpy as np
-from conftest import emit
+from conftest import emit, study_names
 
-from repro.datasets import SUITE, load
+from repro.datasets import load
 from repro.harness import render_table
 from repro.lowrank import block_rank_profile, hss_eligibility
 from repro.precond import ilu0
 
-NAMES = [s.name for s in SUITE if s.n <= 1156]
+NAMES = study_names()
 
 
 def test_lowrank_report(benchmark):

@@ -16,7 +16,7 @@ The wall-clock benchmark times the profiler itself.
 """
 
 import numpy as np
-from conftest import emit
+from conftest import emit, scaled_matrix
 
 from repro.core import wavefront_aware_sparsify
 from repro.datasets import load
@@ -26,7 +26,7 @@ from repro.precond import ILU0Preconditioner
 
 CASES = {
     # strong speedup expected (front-rich structural matrix)
-    "thermomech_dM-like": "structural_2500_s104",
+    "thermomech_dM-like": scaled_matrix("structural_2500_s104"),
     # negligible speedup expected (uniform counter-example)
     "Muu-like": "counter_1156_s101",
     # latency-bound random graph

@@ -11,7 +11,7 @@ device-independent kernel behind all three columns.
 """
 
 import numpy as np
-from conftest import emit
+from conftest import emit, scaled_matrix
 
 from repro.datasets import load
 from repro.harness import render_histogram, render_table
@@ -76,6 +76,6 @@ def test_fig08_histograms(ilu0_v100_suite, iluk_v100_suite,
 
 
 def test_table2_bench_apply(benchmark):
-    a = load("structural_1156_s101")
+    a = load(scaled_matrix("structural_1156_s101"))
     m = ILU0Preconditioner(a)
     benchmark(m.apply, np.ones(a.n_rows))

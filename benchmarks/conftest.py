@@ -11,7 +11,11 @@ Environment knobs
     ``full``  — the whole 107-matrix registry for ILU(0) (several
     minutes);
     ``quick`` (default) — a stratified 51-matrix subset (n ≤ 1600) that
-    preserves every category.
+    preserves every category;
+    ``tiny``  — the 17 order-900 category representatives only (CI
+    smoke: every bench file runs in seconds, every category is still
+    present).  :func:`scaled_matrix` maps the representative single-case
+    matrices to their order-900 stand-ins in this mode.
 Rendered tables/figures are also written under ``benchmarks/results/``.
 """
 
@@ -43,11 +47,35 @@ def _scale() -> str:
 def ilu0_names() -> list[str]:
     if _scale() == "full":
         return [s.name for s in SUITE]
+    if _scale() == "tiny":
+        return [s.name for s in SUITE if s.n == 900]
     return [s.name for s in SUITE if s.n <= 1600]
 
 
 def iluk_names() -> list[str]:
+    if _scale() == "tiny":
+        return [s.name for s in SUITE if s.n == 900]
     return [s.name for s in SUITE if s.n <= 1156]
+
+
+def study_names(max_n: int = 1156) -> list[str]:
+    """Names for the module-level study sweeps, honouring the scale."""
+    if _scale() == "tiny":
+        return [s.name for s in SUITE if s.n == 900]
+    return [s.name for s in SUITE if s.n <= max_n]
+
+
+def scaled_matrix(name: str) -> str:
+    """Map a representative matrix to its order-900 stand-in under tiny.
+
+    ``"thermal_1600_s102" -> "thermal_900_s100"`` when
+    ``REPRO_BENCH_SCALE=tiny``; the identity otherwise.  Every category
+    has a ``<cat>_900_s100`` entry, so the mapping always resolves.
+    """
+    if _scale() != "tiny":
+        return name
+    category = {s.name: s.category for s in SUITE}[name]
+    return f"{category}_900_s100"
 
 
 def emit(name: str, text: str) -> None:

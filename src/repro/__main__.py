@@ -40,7 +40,8 @@ def _cmd_suite(args) -> int:
                     k_candidates=tuple(args.k_candidates),
                     run_fixed_ratios=not args.fast,
                     progress=not args.quiet,
-                    robust=args.robust)
+                    robust=args.robust,
+                    parallel=args.jobs)
     agg = res.aggregates()
     print(f"\nmatrices: {agg.n_matrices}  device: {res.device}  "
           f"preconditioner: {res.precond_kind}")
@@ -61,6 +62,9 @@ def _cmd_suite(args) -> int:
     resilience = res.resilience_summary()
     if resilience is not None:
         print(resilience.summary())
+    from .perf import cache_stats
+
+    print(cache_stats().summary())
     return 0
 
 
@@ -138,6 +142,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--robust", action="store_true",
                    help="also run the fallback ladder per matrix and "
                         "report recovery rate + failure taxonomy")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker threads for the sweep (deterministic "
+                        "ordering; aggregates identical to --jobs 1)")
     p.set_defaults(func=_cmd_suite)
 
     p = sub.add_parser("solve", help="solve a Matrix Market system")

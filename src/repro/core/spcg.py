@@ -18,6 +18,8 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..resilience.faults import FaultPlan
 
+from ..perf.cache import ArtifactCache, get_cache
+from ..perf.fingerprint import matrix_fingerprint
 from ..precond.base import Preconditioner
 from ..precond.ic0 import IC0Preconditioner
 from ..precond.ilu0 import ILU0Preconditioner
@@ -34,20 +36,9 @@ __all__ = ["SPCGResult", "spcg", "make_preconditioner"]
 _PRECONDITIONERS = ("ilu0", "iluk", "ic0", "jacobi")
 
 
-def make_preconditioner(a: CSRMatrix, kind: str, *, k: int = 1,
-                        raise_on_zero_pivot: bool = False,
-                        pivot_boost: float = 1e-8,
-                        shift: float = 0.0) -> Preconditioner:
-    """Factory for the preconditioners SPCG supports.
-
-    ``raise_on_zero_pivot`` defaults to ``False`` here (cuSPARSE-style
-    pivot boosting) because sparsification can zero a pivot that the
-    exact factorization would keep; the paper's pipeline likewise keeps
-    running and lets the convergence check sort it out.  The resilience
-    ladder flips it to ``True`` so zero pivots are *classified*, then
-    escalates ``pivot_boost`` (ILU family) or the Manteuffel diagonal
-    ``shift`` (IC(0)) on the retry.
-    """
+def _build_preconditioner(a: CSRMatrix, kind: str, *, k: int,
+                          raise_on_zero_pivot: bool, pivot_boost: float,
+                          shift: float) -> Preconditioner:
     if kind == "ilu0":
         return ILU0Preconditioner(a, raise_on_zero_pivot=raise_on_zero_pivot,
                                   pivot_boost=pivot_boost)
@@ -57,10 +48,49 @@ def make_preconditioner(a: CSRMatrix, kind: str, *, k: int = 1,
                                   pivot_boost=pivot_boost)
     if kind == "ic0":
         return IC0Preconditioner(a, shift=shift)
-    if kind == "jacobi":
-        return JacobiPreconditioner(a)
-    raise ValueError(f"unknown preconditioner {kind!r}; "
-                     f"choose from {_PRECONDITIONERS}")
+    return JacobiPreconditioner(a)
+
+
+def make_preconditioner(a: CSRMatrix, kind: str, *, k: int = 1,
+                        raise_on_zero_pivot: bool = False,
+                        pivot_boost: float = 1e-8,
+                        shift: float = 0.0,
+                        cache: ArtifactCache | bool | None = None
+                        ) -> Preconditioner:
+    """Factory for the preconditioners SPCG supports.
+
+    ``raise_on_zero_pivot`` defaults to ``False`` here (cuSPARSE-style
+    pivot boosting) because sparsification can zero a pivot that the
+    exact factorization would keep; the paper's pipeline likewise keeps
+    running and lets the convergence check sort it out.  The resilience
+    ladder flips it to ``True`` so zero pivots are *classified*, then
+    escalates ``pivot_boost`` (ILU family) or the Manteuffel diagonal
+    ``shift`` (IC(0)) on the retry.
+
+    Results are memoized in the solver-artifact cache under the matrix's
+    content fingerprint plus every parameter above, so a grid search
+    that revisits the same ``(Â, kind, params)`` point factorizes it
+    once.  Preconditioners are stateless after construction (``apply``
+    only reads), which makes sharing safe.  ``cache`` selects the
+    :class:`~repro.perf.cache.ArtifactCache` to use: ``None`` (default)
+    is the process-wide cache, ``False`` bypasses caching entirely, an
+    explicit instance uses that instance.
+    """
+    if kind not in _PRECONDITIONERS:
+        raise ValueError(f"unknown preconditioner {kind!r}; "
+                         f"choose from {_PRECONDITIONERS}")
+
+    def build() -> Preconditioner:
+        return _build_preconditioner(
+            a, kind, k=k, raise_on_zero_pivot=raise_on_zero_pivot,
+            pivot_boost=pivot_boost, shift=shift)
+
+    if cache is False:
+        return build()
+    c = get_cache() if cache is None or cache is True else cache
+    key = (matrix_fingerprint(a), kind, int(k), bool(raise_on_zero_pivot),
+           float(pivot_boost), float(shift))
+    return c.get_or_compute("preconditioner", key, build)
 
 
 @dataclass

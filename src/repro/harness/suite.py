@@ -238,7 +238,8 @@ def run_suite(matrices: Iterable[MatrixSpec | str] | None = None, *,
               progress: bool = False,
               robust: bool = False,
               robust_policy=None,
-              fault_plan_factory=None) -> SuiteResult:
+              fault_plan_factory=None,
+              parallel: int = 1) -> SuiteResult:
     """Run :func:`~repro.harness.experiment.run_experiment` over a
     collection.
 
@@ -263,7 +264,17 @@ def run_suite(matrices: Iterable[MatrixSpec | str] | None = None, *,
         Optional ``name -> FaultPlan | None`` callable giving each
         matrix its own (fresh) fault plan — per-matrix plans keep
         trigger bookkeeping independent across the sweep.
+    parallel:
+        Number of worker threads (``suite --jobs N`` on the CLI).
+        ``1`` (default) keeps the sequential loop.  Results are
+        collected in submission order regardless of completion order,
+        and every experiment is a deterministic function of its spec,
+        so aggregates are **identical** to the sequential path — the
+        golden regression tests assert this.  Workers share the
+        process-wide artifact cache.
     """
+    if parallel < 1:
+        raise ValueError("parallel must be >= 1")
     specs: list[MatrixSpec] = []
     source = SUITE if matrices is None else matrices
     from ..datasets.registry import _BY_NAME  # local import by design
@@ -272,27 +283,51 @@ def run_suite(matrices: Iterable[MatrixSpec | str] | None = None, *,
         spec = _BY_NAME[m] if isinstance(m, str) else m
         specs.append(spec)
 
-    out = SuiteResult(device=device.name, precond_kind=precond)
-    for spec in specs:
+    def _run_one(spec: MatrixSpec) -> ExperimentResult | None:
         a = load(spec.name) if spec.name in _BY_NAME else spec.build()
         if max_n is not None and a.n_rows > max_n:
-            continue
+            return None
         plan = (fault_plan_factory(spec.name)
                 if fault_plan_factory is not None else None)
-        res = run_experiment(
+        return run_experiment(
             a, name=spec.name, category=spec.category, device=device,
             precond=precond, k=k, k_candidates=k_candidates, tau=tau,
             omega=omega, ratios=ratios, criterion=criterion,
             run_fixed_ratios=run_fixed_ratios,
             robust=robust, robust_policy=robust_policy, fault_plan=plan)
-        out.results.append(res)
-        if progress:
-            pi = res.per_iteration_speedup
-            e2e = res.end_to_end_speedup
-            line = (f"  {spec.name:40s} per-iter x{pi:6.2f}  "
-                    f"e2e x{e2e:6.2f}  ratio {res.spcg.ratio_percent:g}%")
-            if res.robust is not None:
-                line += (f"  robust={'ok' if res.robust.converged else 'FAIL'}"
-                         f"({res.robust.n_attempts} att)")
-            print(line)
+
+    def _report(spec: MatrixSpec, res: ExperimentResult) -> None:
+        pi = res.per_iteration_speedup
+        e2e = res.end_to_end_speedup
+        line = (f"  {spec.name:40s} per-iter x{pi:6.2f}  "
+                f"e2e x{e2e:6.2f}  ratio {res.spcg.ratio_percent:g}%")
+        if res.robust is not None:
+            line += (f"  robust={'ok' if res.robust.converged else 'FAIL'}"
+                     f"({res.robust.n_attempts} att)")
+        print(line)
+
+    out = SuiteResult(device=device.name, precond_kind=precond)
+    if parallel == 1:
+        for spec in specs:
+            res = _run_one(spec)
+            if res is None:
+                continue
+            out.results.append(res)
+            if progress:
+                _report(spec, res)
+        return out
+
+    # Fan out over a thread pool; futures are drained in submission
+    # order so `out.results` matches the sequential ordering exactly.
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=parallel) as pool:
+        futures = [(spec, pool.submit(_run_one, spec)) for spec in specs]
+        for spec, fut in futures:
+            res = fut.result()
+            if res is None:
+                continue
+            out.results.append(res)
+            if progress:
+                _report(spec, res)
     return out

@@ -19,7 +19,9 @@ from functools import cached_property
 import numpy as np
 
 from ..errors import ShapeError, SingularFactorError, SparseFormatError
-from ..graph.levels import LevelSchedule, level_schedule
+from ..graph.levels import LevelSchedule
+from ..perf.cache import cached_level_schedule
+from ..perf.vectorized import ilu_numeric_vectorized
 from ..sparse.csr import CSRMatrix
 from .base import Preconditioner
 from .triangular import ScheduledTriangularSolver
@@ -56,12 +58,12 @@ class ILUFactors:
     @cached_property
     def lower_schedule(self) -> LevelSchedule:
         """Wavefront schedule of the forward substitution."""
-        return level_schedule(self.lower, kind="lower")
+        return cached_level_schedule(self.lower, kind="lower")
 
     @cached_property
     def upper_schedule(self) -> LevelSchedule:
         """Wavefront schedule of the backward substitution."""
-        return level_schedule(self.upper, kind="upper")
+        return cached_level_schedule(self.upper, kind="upper")
 
     @property
     def total_levels(self) -> int:
@@ -165,7 +167,8 @@ def ilu_numeric_inplace(a: CSRMatrix, *, raise_on_zero_pivot: bool = True,
 
 
 def ilu0(a: CSRMatrix, *, raise_on_zero_pivot: bool = True,
-         pivot_boost: float = 1e-8) -> ILUFactors:
+         pivot_boost: float = 1e-8,
+         numeric: str = "vectorized") -> ILUFactors:
     """Incomplete LU factorization with zero fill-in.
 
     Parameters
@@ -181,6 +184,11 @@ def ilu0(a: CSRMatrix, *, raise_on_zero_pivot: bool = True,
     pivot_boost:
         Relative boost magnitude used for the substitution (default
         1e-8; the resilience ladder escalates it when retrying).
+    numeric:
+        ``"vectorized"`` (default) runs the wavefront-batched sweep of
+        :mod:`repro.perf.vectorized`; ``"scalar"`` runs the per-row
+        reference sweep (the correctness oracle).  Both produce
+        identical factors.
 
     Returns
     -------
@@ -192,9 +200,16 @@ def ilu0(a: CSRMatrix, *, raise_on_zero_pivot: bool = True,
     the factors back, mirroring how production codes guard the pivot
     divisions.
     """
-    fdata, flops = ilu_numeric_inplace(
-        a, raise_on_zero_pivot=raise_on_zero_pivot,
-        pivot_boost=pivot_boost)
+    if numeric == "vectorized":
+        fdata, flops = ilu_numeric_vectorized(
+            a, raise_on_zero_pivot=raise_on_zero_pivot,
+            pivot_boost=pivot_boost)
+    elif numeric == "scalar":
+        fdata, flops = ilu_numeric_inplace(
+            a, raise_on_zero_pivot=raise_on_zero_pivot,
+            pivot_boost=pivot_boost)
+    else:
+        raise ValueError(f"unknown numeric mode {numeric!r}")
     return _split_factored(a, fdata.astype(a.dtype, copy=False), flops)
 
 

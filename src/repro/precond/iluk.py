@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ShapeError, SparseFormatError
+from ..perf.vectorized import ilu_numeric_vectorized
 from ..sparse.csr import CSRMatrix
 from .base import Preconditioner
 from .ilu0 import ILUFactors, _split_factored, ilu_numeric_inplace
@@ -174,16 +175,26 @@ def iluk_symbolic(a: CSRMatrix, k: int, *,
 
 
 def iluk(a: CSRMatrix, k: int, *, raise_on_zero_pivot: bool = True,
-         pivot_boost: float = 1e-8) -> ILUFactors:
+         pivot_boost: float = 1e-8,
+         numeric: str = "vectorized") -> ILUFactors:
     """Incomplete LU factorization with level-of-fill bound *k*.
 
     Equivalent to ILU(0) on the fill-extended pattern returned by
-    :func:`iluk_symbolic`.
+    :func:`iluk_symbolic`.  ``numeric`` selects the wavefront-batched
+    sweep (default) or the scalar reference sweep, as in
+    :func:`repro.precond.ilu0.ilu0`.
     """
     sym = iluk_symbolic(a, k)
-    fdata, flops = ilu_numeric_inplace(
-        sym.pattern, raise_on_zero_pivot=raise_on_zero_pivot,
-        pivot_boost=pivot_boost)
+    if numeric == "vectorized":
+        fdata, flops = ilu_numeric_vectorized(
+            sym.pattern, raise_on_zero_pivot=raise_on_zero_pivot,
+            pivot_boost=pivot_boost)
+    elif numeric == "scalar":
+        fdata, flops = ilu_numeric_inplace(
+            sym.pattern, raise_on_zero_pivot=raise_on_zero_pivot,
+            pivot_boost=pivot_boost)
+    else:
+        raise ValueError(f"unknown numeric mode {numeric!r}")
     return _split_factored(sym.pattern, fdata.astype(a.dtype, copy=False),
                            flops)
 

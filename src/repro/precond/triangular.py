@@ -13,6 +13,8 @@ modeled synchronizations *and* measurably less interpreter overhead.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..errors import NotTriangularError, ShapeError, SingularFactorError
@@ -189,6 +191,16 @@ class ScheduledTriangularSolver:
         np.cumsum(lens, out=self._seg_ptr[1:])
         self._rows = sched_rows
         self._level_ptr = self.schedule.level_ptr
+        # Scratch buffers for the float64 fast path, sized to the widest
+        # wavefront.  Thread-local: cached solver instances are shared
+        # across the parallel suite runner's workers, and concurrent
+        # solves must not stomp each other's scratch space.
+        self._max_level_rows = (int(np.diff(self._level_ptr).max())
+                                if self.n_levels else 0)
+        seg_at = self._seg_ptr[self._level_ptr]
+        self._max_level_nnz = (int(np.diff(seg_at).max())
+                               if self.n_levels else 0)
+        self._scratch = threading.local()
 
     # ------------------------------------------------------------------
     @property
@@ -212,12 +224,28 @@ class ScheduledTriangularSolver:
                    - self._seg_ptr[self._level_ptr[:-1]])
         return rows_per_level, nnz_off + rows_per_level
 
+    def _buffers(self) -> tuple[np.ndarray, np.ndarray,
+                                np.ndarray, np.ndarray]:
+        """This thread's scratch (prod, csum, sums, acc), allocated once."""
+        s = self._scratch
+        bufs = getattr(s, "bufs", None)
+        if bufs is None:
+            bufs = (np.empty(self._max_level_nnz, dtype=np.float64),
+                    np.empty(self._max_level_nnz + 1, dtype=np.float64),
+                    np.empty(self._max_level_rows, dtype=np.float64),
+                    np.empty(self._max_level_rows, dtype=np.float64))
+            s.bufs = bufs
+        return bufs
+
     # ------------------------------------------------------------------
     def solve(self, b: np.ndarray, out: np.ndarray | None = None
               ) -> np.ndarray:
         """Solve the triangular system for right-hand side *b*.
 
-        Executes one vectorized segmented kernel per wavefront.
+        Executes one vectorized segmented kernel per wavefront.  When
+        everything is float64 (the common case) the per-level gather,
+        product, prefix sum, and subtraction all run into preallocated
+        scratch buffers — zero allocations inside the wavefront loop.
         """
         b = np.asarray(b)
         if b.shape != (self.n,):
@@ -230,10 +258,35 @@ class ScheduledTriangularSolver:
         gcols, gvals = self._gather_cols, self._gather_vals
         lp = self._level_ptr
         inv_diag = self._inv_diag
+        fast = (dtype == np.float64 and x.dtype == np.float64
+                and gvals.dtype == np.float64 and b.dtype == np.float64)
+        if fast:
+            prod_buf, csum_buf, sum_buf, acc_buf = self._buffers()
         for k in range(self.n_levels):
             lo, hi = lp[k], lp[k + 1]
             rows_k = rows[lo:hi]
             s0, s1 = seg_ptr[lo], seg_ptr[hi]
+            if fast:
+                acc = acc_buf[:hi - lo]
+                np.take(b, rows_k, out=acc)
+                if s1 > s0:
+                    prod = prod_buf[:s1 - s0]
+                    np.take(x, gcols[s0:s1], out=prod)
+                    np.multiply(prod, gvals[s0:s1], out=prod)
+                    cs = csum_buf[:s1 - s0 + 1]
+                    cs[0] = 0.0
+                    np.cumsum(prod, out=cs[1:])
+                    # Per-row segment sums as cumsum differences, then
+                    # acc = b - sums (same association as segment_sum so
+                    # both paths agree bitwise).
+                    sums = sum_buf[:hi - lo]
+                    np.subtract(cs[seg_ptr[lo + 1:hi + 1] - s0],
+                                cs[seg_ptr[lo:hi] - s0], out=sums)
+                    np.subtract(acc, sums, out=acc)
+                if inv_diag is not None:
+                    np.multiply(acc, inv_diag[rows_k], out=acc)
+                x[rows_k] = acc
+                continue
             if s1 > s0:
                 prod = gvals[s0:s1] * x[gcols[s0:s1]]
                 sums = segment_sum(prod, seg_ptr[lo:hi] - s0,

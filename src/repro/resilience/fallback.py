@@ -247,7 +247,8 @@ def robust_spcg(a: CSRMatrix, b: np.ndarray, *,
                 ratios: tuple[float, ...] = (10.0, 5.0, 1.0),
                 criterion: StoppingCriterion | None = None,
                 x0: np.ndarray | None = None,
-                callback=None, fault_plan=None) -> RobustSolveReport:
+                callback=None, fault_plan=None,
+                cache=None) -> RobustSolveReport:
     """Solve ``A x = b``, falling back until something converges.
 
     Parameters match :func:`repro.core.spcg.spcg` plus:
@@ -261,6 +262,13 @@ def robust_spcg(a: CSRMatrix, b: np.ndarray, *,
         A :class:`~repro.resilience.faults.FaultPlan` threaded through
         every rung (fault scopes match rung names) — the testability
         hook that makes the ladder's recovery claims verifiable.
+    cache:
+        Forwarded to :func:`~repro.core.spcg.make_preconditioner` on
+        every rung: an :class:`~repro.perf.ArtifactCache`, ``False`` to
+        bypass the shared default (recommended for fault-injection
+        studies so corrupted factors never occupy cache slots), or
+        ``None`` for the process default. Keys are content-addressed,
+        so a corrupted ``Â`` can never *alias* a clean entry either way.
 
     Returns
     -------
@@ -342,7 +350,8 @@ def robust_spcg(a: CSRMatrix, b: np.ndarray, *,
                         kwargs["pivot_boost"] = policy.pivot_boost
                 if rung.precond == "ic0" and shifted:
                     kwargs["shift"] = policy.ic0_shift
-                m = make_preconditioner(m_mat, rung.precond, **kwargs)
+                m = make_preconditioner(m_mat, rung.precond,
+                                        cache=cache, **kwargs)
                 if fault_plan is not None:
                     m = fault_plan.wrap_preconditioner(m, rung.name)
         except (ReproError, FloatingPointError, ZeroDivisionError) as exc:

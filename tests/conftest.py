@@ -12,9 +12,42 @@ import pytest
 from repro.sparse import CSRMatrix, random_spd, stencil_poisson_2d
 
 
+#: The single seed every test RNG derives from.  Tests must not call
+#: ``np.random`` module-level functions or hand-roll generators — the
+#: parallel suite runner makes execution order an implementation detail,
+#: so randomness has to be pinned per test, not per module.
+TEST_SEED = 12345
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
-    return np.random.default_rng(12345)
+    return np.random.default_rng(TEST_SEED)
+
+
+@pytest.fixture
+def make_rng():
+    """Factory for independent seeded generators.
+
+    ``make_rng()`` reproduces the shared default; ``make_rng(k)`` gives a
+    stream that is stable across runs and independent of test order.
+    """
+    def _make(offset: int = 0) -> np.random.Generator:
+        return np.random.default_rng(TEST_SEED + offset)
+
+    return _make
+
+
+@pytest.fixture(autouse=True)
+def _fresh_artifact_cache():
+    """Give every test its own artifact cache.
+
+    Keeps cache hit/miss assertions deterministic and prevents artifacts
+    built by one test from masking bugs in another.
+    """
+    from repro.perf import ArtifactCache, use_cache
+
+    with use_cache(ArtifactCache()) as cache:
+        yield cache
 
 
 @pytest.fixture

@@ -57,7 +57,7 @@ def test_heat_equation_small(monkeypatch, capsys):
     assert is_symmetric(a, tol=1e-12)
 
 
-def test_circuit_example_physics(capsys):
+def test_circuit_example_physics(capsys, make_rng):
     """The circuit example's conservation check at a reduced size."""
     import numpy as np
 
@@ -65,7 +65,7 @@ def test_circuit_example_physics(capsys):
     from repro.datasets import generate
 
     g = generate("circuit", 500, seed=11)
-    rng = np.random.default_rng(1)
+    rng = make_rng(1)
     i_vec = np.zeros(g.n_rows)
     src = rng.choice(g.n_rows, size=4, replace=False)
     i_vec[src] = 1e-3

@@ -59,9 +59,9 @@ class TestRunExperiment:
         assert r.oracle is None
         assert np.isnan(r.oracle_per_iteration_speedup)
 
-    def test_custom_rhs(self):
+    def test_custom_rhs(self, make_rng):
         a = front_matrix(side=12)
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         r = run_experiment(a, rhs=a.matvec(rng.standard_normal(a.n_rows)),
                            run_fixed_ratios=False)
         assert r.baseline.converged

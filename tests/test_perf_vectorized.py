@@ -1,0 +1,278 @@
+"""Equivalence tests: vectorized kernels vs the scalar oracles.
+
+The wavefront-batched numeric factorization of
+``repro.perf.vectorized`` claims bitwise equality with the scalar IKJ
+sweep; the executor fast path claims bitwise equality with its own
+allocation-per-level slow path and tight agreement with the sequential
+substitutions.  These tests pin all three claims, property-based over
+the generators of ``test_properties``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SingularFactorError, SparseFormatError
+from repro.perf import build_factor_plan, get_cache, ilu_numeric_vectorized
+from repro.perf.vectorized import (solve_lower_vectorized,
+                                   solve_upper_vectorized)
+from repro.precond import (ScheduledTriangularSolver, ilu0,
+                           solve_lower_sequential, solve_upper_sequential)
+from repro.precond.ilu0 import ilu_numeric_inplace
+from repro.precond.iluk import iluk
+from repro.sparse import CSRMatrix, random_spd, stencil_poisson_2d
+
+from test_properties import dense_matrix
+
+
+class TestVectorizedILUEquivalence:
+    @given(dense_matrix(max_n=20, spd=True))
+    @settings(max_examples=60, deadline=None)
+    def test_bitwise_equal_on_spd(self, dense):
+        a = CSRMatrix.from_dense(dense)
+        fs, fls = ilu_numeric_inplace(a, raise_on_zero_pivot=False)
+        fv, flv = ilu_numeric_vectorized(a, raise_on_zero_pivot=False)
+        np.testing.assert_array_equal(fs, fv)
+        assert fls == flv
+
+    @given(dense_matrix(max_n=16, spd=True), st.floats(0.0, 100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_bitwise_equal_across_drop_ratios(self, dense, ratio):
+        from repro.core import sparsify_magnitude
+
+        a_hat = sparsify_magnitude(CSRMatrix.from_dense(dense), ratio).a_hat
+        fs, _ = ilu_numeric_inplace(a_hat, raise_on_zero_pivot=False)
+        fv, _ = ilu_numeric_vectorized(a_hat, raise_on_zero_pivot=False)
+        np.testing.assert_array_equal(fs, fv)
+
+    @pytest.mark.parametrize("n", [9, 16])
+    def test_bitwise_equal_on_poisson(self, n):
+        a = stencil_poisson_2d(n)
+        fs, fls = ilu_numeric_inplace(a)
+        fv, flv = ilu_numeric_vectorized(a)
+        np.testing.assert_array_equal(fs, fv)
+        assert fls == flv
+
+    def test_registry_matrix_bitwise(self):
+        from repro.datasets import load
+
+        a = load("thermal_900_s100")
+        fs, fls = ilu_numeric_inplace(a, raise_on_zero_pivot=False)
+        fv, flv = ilu_numeric_vectorized(a, raise_on_zero_pivot=False)
+        np.testing.assert_array_equal(fs, fv)
+        assert fls == flv
+
+    def test_zero_pivot_raises_in_both(self):
+        # Elimination drives row 1's pivot to exactly zero.
+        a = CSRMatrix.from_dense(np.array([[2.0, 1.0], [4.0, 2.0]]))
+        with pytest.raises(SingularFactorError):
+            ilu_numeric_inplace(a)
+        with pytest.raises(SingularFactorError):
+            ilu_numeric_vectorized(a)
+
+    def test_boosted_pivot_bitwise_equal(self):
+        a = CSRMatrix.from_dense(np.array([[2.0, 1.0], [4.0, 2.0]]))
+        fs, _ = ilu_numeric_inplace(a, raise_on_zero_pivot=False)
+        fv, _ = ilu_numeric_vectorized(a, raise_on_zero_pivot=False)
+        np.testing.assert_array_equal(fs, fv)
+
+    def test_missing_diagonal_rejected(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 2.0], [3.0, 0.0]]))
+        with pytest.raises(SparseFormatError):
+            ilu_numeric_vectorized(a)
+
+    def test_plan_is_cached_by_structure(self, spd_random):
+        ilu_numeric_vectorized(spd_random, raise_on_zero_pivot=False)
+        # Same pattern, different values: plan reused.
+        other = CSRMatrix(spd_random.indptr, spd_random.indices,
+                          spd_random.data * 1.5, spd_random.shape)
+        ilu_numeric_vectorized(other, raise_on_zero_pivot=False)
+        stats = get_cache().stats
+        assert stats.misses_by_kind["ilu_plan"] == 1
+        assert stats.hits_by_kind["ilu_plan"] == 1
+
+    def test_explicit_plan_accepted(self, spd_random):
+        plan = build_factor_plan(spd_random)
+        f1, _ = ilu_numeric_vectorized(spd_random, plan=plan,
+                                       raise_on_zero_pivot=False)
+        f2, _ = ilu_numeric_inplace(spd_random, raise_on_zero_pivot=False)
+        np.testing.assert_array_equal(f1, f2)
+
+
+class TestFactoryNumericModes:
+    def test_ilu0_modes_agree(self, spd_random):
+        fv = ilu0(spd_random, raise_on_zero_pivot=False)
+        fs = ilu0(spd_random, raise_on_zero_pivot=False, numeric="scalar")
+        np.testing.assert_array_equal(fv.lower.data, fs.lower.data)
+        np.testing.assert_array_equal(fv.upper.data, fs.upper.data)
+        assert fv.factor_flops == fs.factor_flops
+
+    def test_iluk_modes_agree(self, spd_random):
+        fv = iluk(spd_random, 2, raise_on_zero_pivot=False)
+        fs = iluk(spd_random, 2, raise_on_zero_pivot=False,
+                  numeric="scalar")
+        np.testing.assert_array_equal(fv.lower.data, fs.lower.data)
+        np.testing.assert_array_equal(fv.upper.data, fs.upper.data)
+
+    def test_unknown_mode_rejected(self, spd_random):
+        with pytest.raises(ValueError):
+            ilu0(spd_random, numeric="simd")
+        with pytest.raises(ValueError):
+            iluk(spd_random, 1, numeric="simd")
+
+
+class TestExecutorFastPath:
+    @given(dense_matrix(max_n=14, lower=True), st.integers(0, 2 ** 31))
+    @settings(max_examples=60, deadline=None)
+    def test_fast_path_matches_sequential(self, dense, seed):
+        low = CSRMatrix.from_dense(dense)
+        b = np.random.default_rng(seed).standard_normal(low.n_rows)
+        x_fast = ScheduledTriangularSolver(low, kind="lower").solve(b)
+        x_seq = solve_lower_sequential(low, b)
+        np.testing.assert_allclose(x_fast, x_seq, rtol=1e-9, atol=1e-9)
+
+    @given(dense_matrix(max_n=14, lower=True, unit_diag=True),
+           st.integers(0, 2 ** 31))
+    @settings(max_examples=40, deadline=None)
+    def test_fast_path_unit_diagonal(self, dense, seed):
+        low = CSRMatrix.from_dense(dense)
+        b = np.random.default_rng(seed).standard_normal(low.n_rows)
+        x_fast = ScheduledTriangularSolver(
+            low, kind="lower", unit_diagonal=True).solve(b)
+        x_seq = solve_lower_sequential(low, b, unit_diagonal=True)
+        np.testing.assert_allclose(x_fast, x_seq, rtol=1e-9, atol=1e-9)
+
+    @staticmethod
+    def _slow_reference(solver, b):
+        """Replicates the executor's allocation-per-level branch."""
+        from repro.util import segment_sum
+
+        x = np.empty(solver.n)
+        rows, seg_ptr = solver._rows, solver._seg_ptr
+        gcols, gvals = solver._gather_cols, solver._gather_vals
+        lp = solver._level_ptr
+        inv = solver._inv_diag
+        for k in range(solver.n_levels):
+            lo, hi = lp[k], lp[k + 1]
+            rows_k = rows[lo:hi]
+            s0, s1 = seg_ptr[lo], seg_ptr[hi]
+            if s1 > s0:
+                prod = gvals[s0:s1] * x[gcols[s0:s1]]
+                sums = segment_sum(prod, seg_ptr[lo:hi] - s0,
+                                   seg_ptr[lo + 1:hi + 1] - s0)
+                acc = b[rows_k] - sums
+            else:
+                acc = b[rows_k].copy()
+            if inv is not None:
+                acc = acc * inv[rows_k]
+            x[rows_k] = acc
+        return x
+
+    @given(dense_matrix(max_n=14, lower=True), st.integers(0, 2 ** 31))
+    @settings(max_examples=40, deadline=None)
+    def test_fast_path_bitwise_equals_slow_path(self, dense, seed):
+        low = CSRMatrix.from_dense(dense)
+        b = np.random.default_rng(seed).standard_normal(low.n_rows)
+        solver = ScheduledTriangularSolver(low, kind="lower")
+        np.testing.assert_array_equal(solver.solve(b),
+                                      self._slow_reference(solver, b))
+
+    def test_upper_fast_path(self, rng):
+        a = stencil_poisson_2d(12)
+        f = ilu0(a)
+        b = rng.standard_normal(a.n_rows)
+        bwd = ScheduledTriangularSolver(f.upper, kind="upper")
+        np.testing.assert_allclose(
+            bwd.solve(b), solve_upper_sequential(f.upper, b),
+            rtol=1e-9, atol=1e-9)
+
+    def test_float32_fallback_still_correct(self, rng):
+        a = stencil_poisson_2d(8)
+        f = ilu0(a)
+        low32 = CSRMatrix(f.lower.indptr, f.lower.indices,
+                          f.lower.data.astype(np.float32), f.lower.shape,
+                          check=False)
+        b = rng.standard_normal(a.n_rows).astype(np.float32)
+        x = ScheduledTriangularSolver(low32, kind="lower",
+                                      unit_diagonal=True).solve(b)
+        assert x.dtype == np.float32
+        x64 = solve_lower_sequential(f.lower, b.astype(np.float64),
+                                     unit_diagonal=True)
+        np.testing.assert_allclose(x, x64, rtol=1e-4, atol=1e-4)
+
+    def test_out_parameter_roundtrip(self, rng):
+        a = stencil_poisson_2d(10)
+        f = ilu0(a)
+        solver = ScheduledTriangularSolver(f.lower, kind="lower",
+                                           unit_diagonal=True)
+        b = rng.standard_normal(a.n_rows)
+        out = np.empty(a.n_rows)
+        res = solver.solve(b, out=out)
+        assert res is out
+        np.testing.assert_array_equal(out, solver.solve(b))
+
+    def test_concurrent_solves_share_solver(self, rng):
+        """Thread-local scratch: concurrent solves must not interfere."""
+        import threading
+
+        a = random_spd(150, density=0.04, seed=9)
+        f = ilu0(a, raise_on_zero_pivot=False)
+        solver = ScheduledTriangularSolver(f.lower, kind="lower",
+                                           unit_diagonal=True)
+        rhss = [rng.standard_normal(a.n_rows) for _ in range(8)]
+        expected = [solver.solve(b) for b in rhss]
+        got = [None] * len(rhss)
+
+        def worker(i):
+            for _ in range(20):
+                got[i] = solver.solve(rhss[i])
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(len(rhss))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for e, g in zip(expected, got):
+            np.testing.assert_array_equal(e, g)
+
+
+class TestOneShotSubstitutions:
+    def test_lower_and_upper_match_sequential(self, rng):
+        a = stencil_poisson_2d(10)
+        f = ilu0(a)
+        b = rng.standard_normal(a.n_rows)
+        np.testing.assert_allclose(
+            solve_lower_vectorized(f.lower, b, unit_diagonal=True),
+            solve_lower_sequential(f.lower, b, unit_diagonal=True),
+            rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(
+            solve_upper_vectorized(f.upper, b),
+            solve_upper_sequential(f.upper, b),
+            rtol=1e-9, atol=1e-9)
+
+    def test_repeat_solves_reuse_inspector(self, rng):
+        a = stencil_poisson_2d(10)
+        f = ilu0(a)
+        b = rng.standard_normal(a.n_rows)
+        solve_lower_vectorized(f.lower, b, unit_diagonal=True)
+        solve_lower_vectorized(f.lower, b, unit_diagonal=True)
+        stats = get_cache().stats
+        assert stats.misses_by_kind["triangular_solver"] == 1
+        assert stats.hits_by_kind["triangular_solver"] == 1
+
+
+class TestCachedVsFreshFactors:
+    @pytest.mark.parametrize("kind,kwargs", [
+        ("ilu0", {}), ("iluk", {"k": 2}), ("ic0", {}), ("jacobi", {}),
+    ])
+    def test_cached_apply_equals_fresh(self, spd_random, rng, kind, kwargs):
+        from repro.core import make_preconditioner
+
+        r = rng.standard_normal(spd_random.n_rows)
+        cached1 = make_preconditioner(spd_random, kind, **kwargs)
+        cached2 = make_preconditioner(spd_random, kind, **kwargs)
+        fresh = make_preconditioner(spd_random, kind, cache=False, **kwargs)
+        assert cached1 is cached2 and fresh is not cached1
+        np.testing.assert_allclose(cached2.apply(r), fresh.apply(r),
+                                   rtol=1e-12, atol=1e-12)

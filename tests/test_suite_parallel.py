@@ -1,0 +1,112 @@
+"""Parallel suite runner: determinism, ordering, and golden aggregates.
+
+The golden fixture (``tests/golden/mini_suite_aggregates.json``) pins
+the exact headline numbers of a small deterministic mini-suite.  Both
+the sequential and the parallel runner must reproduce it — any drift in
+the sparsification, factorization, solver, or aggregation pipeline
+trips this test.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python tests/test_suite_parallel.py --regen
+"""
+
+import dataclasses
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets import MatrixSpec
+from repro.harness import run_suite
+
+GOLDEN = Path(__file__).parent / "golden" / "mini_suite_aggregates.json"
+
+#: Small deterministic mini-suite: one matrix per paper-relevant
+#: category, orders ~250 so the whole sweep stays CI-fast.  Non-registry
+#: specs are built via ``spec.build()`` — the registry cache is not
+#: involved, so results depend only on (category, n, seed).
+MINI_SUITE = (
+    MatrixSpec(name="mini_thermal", category="thermal", n=256, seed=1),
+    MatrixSpec(name="mini_structural", category="structural", n=256, seed=2),
+    MatrixSpec(name="mini_cfd", category="cfd", n=256, seed=3),
+    MatrixSpec(name="mini_2d3d", category="2d3d", n=256, seed=4),
+    MatrixSpec(name="mini_circuit", category="circuit", n=256, seed=5),
+    MatrixSpec(name="mini_statmath", category="statmath", n=250, seed=6),
+)
+
+
+def run_mini_suite(parallel: int = 1):
+    return run_suite(MINI_SUITE, parallel=parallel)
+
+
+def aggregates_dict(agg) -> dict:
+    return dataclasses.asdict(agg)
+
+
+def _assert_close(got: dict, want: dict) -> None:
+    assert set(got) == set(want)
+    for key, expect in want.items():
+        actual = got[key]
+        if isinstance(expect, float) and math.isnan(expect):
+            assert math.isnan(actual), f"{key}: expected NaN, got {actual}"
+        elif isinstance(expect, float):
+            assert actual == pytest.approx(expect, rel=1e-9, abs=1e-12), \
+                f"{key}: {actual} != {expect}"
+        else:
+            assert actual == expect, f"{key}: {actual} != {expect}"
+
+
+class TestParallelRunner:
+    def test_parallel_matches_sequential_exactly(self):
+        seq = run_mini_suite(parallel=1)
+        par = run_mini_suite(parallel=4)
+        assert [r.name for r in seq.results] == \
+            [r.name for r in par.results]
+        assert seq.aggregates() == par.aggregates()
+        for rs, rp in zip(seq.results, par.results):
+            assert rs.per_iteration_speedup == rp.per_iteration_speedup
+            assert rs.spcg.ratio_percent == rp.spcg.ratio_percent
+            if np.isfinite(rs.end_to_end_speedup):
+                assert rs.end_to_end_speedup == rp.end_to_end_speedup
+
+    def test_result_order_is_submission_order(self):
+        par = run_mini_suite(parallel=3)
+        assert [r.name for r in par.results] == [s.name for s in MINI_SUITE]
+
+    def test_parallel_validates_worker_count(self):
+        with pytest.raises(ValueError):
+            run_suite(MINI_SUITE, parallel=0)
+
+    def test_max_n_skips_in_both_paths(self):
+        seq = run_suite(MINI_SUITE, max_n=0, parallel=1)
+        par = run_suite(MINI_SUITE, max_n=0, parallel=2)
+        assert seq.results == [] and par.results == []
+
+
+class TestGoldenAggregates:
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_reproduces_golden(self, jobs):
+        want = json.loads(GOLDEN.read_text())
+        got = aggregates_dict(run_mini_suite(parallel=jobs).aggregates())
+        _assert_close(got, want["aggregates"])
+
+    def test_golden_metadata_matches_suite(self):
+        want = json.loads(GOLDEN.read_text())
+        assert want["matrices"] == [s.name for s in MINI_SUITE]
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        agg = aggregates_dict(run_mini_suite().aggregates())
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(json.dumps(
+            {"matrices": [s.name for s in MINI_SUITE],
+             "aggregates": agg}, indent=2) + "\n")
+        print(f"wrote {GOLDEN}")
+    else:
+        print(__doc__)

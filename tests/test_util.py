@@ -48,8 +48,8 @@ class TestSegmentSum:
         assert res is out
         np.testing.assert_allclose(out, [2.0, 2.0])
 
-    def test_matches_manual_random(self):
-        rng = np.random.default_rng(0)
+    def test_matches_manual_random(self, make_rng):
+        rng = make_rng(0)
         v = rng.standard_normal(200)
         bounds = np.sort(rng.integers(0, 200, size=21))
         starts, ends = bounds[:-1], bounds[1:]
@@ -73,8 +73,8 @@ class TestGmean:
     def test_known(self):
         assert gmean([1.0, 4.0]) == pytest.approx(2.0)
 
-    def test_matches_scipy(self):
-        rng = np.random.default_rng(1)
+    def test_matches_scipy(self, make_rng):
+        rng = make_rng(1)
         x = rng.random(50) + 0.1
         assert gmean(x) == pytest.approx(scipy_stats.gmean(x))
 
@@ -88,20 +88,20 @@ class TestGmean:
 
 
 class TestRankStatistics:
-    def test_rankdata_matches_scipy(self):
-        rng = np.random.default_rng(2)
+    def test_rankdata_matches_scipy(self, make_rng):
+        rng = make_rng(2)
         x = rng.integers(0, 10, size=100).astype(float)  # many ties
         np.testing.assert_allclose(rankdata(x), scipy_stats.rankdata(x))
 
-    def test_spearman_matches_scipy(self):
-        rng = np.random.default_rng(3)
+    def test_spearman_matches_scipy(self, make_rng):
+        rng = make_rng(3)
         x = rng.standard_normal(80)
         y = 0.5 * x + rng.standard_normal(80)
         expect = scipy_stats.spearmanr(x, y).statistic
         assert spearman(x, y) == pytest.approx(expect)
 
-    def test_spearman_with_ties_matches_scipy(self):
-        rng = np.random.default_rng(4)
+    def test_spearman_with_ties_matches_scipy(self, make_rng):
+        rng = make_rng(4)
         x = rng.integers(0, 5, size=60).astype(float)
         y = rng.integers(0, 5, size=60).astype(float)
         expect = scipy_stats.spearmanr(x, y).statistic
@@ -121,8 +121,8 @@ class TestRankStatistics:
 
 
 class TestHistogramFixed:
-    def test_percent_sums_to_100(self):
-        rng = np.random.default_rng(5)
+    def test_percent_sums_to_100(self, make_rng):
+        rng = make_rng(5)
         _, percent = histogram_fixed(rng.random(1000) * 5, 0.0, 5.0, 0.25)
         assert percent.sum() == pytest.approx(100.0)
 

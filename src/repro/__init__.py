@@ -32,6 +32,11 @@ Subpackages
 ``repro.resilience``
     Fault injection, breakdown guards and the ``robust_spcg`` fallback
     ladder.
+``repro.perf``
+    Solver-artifact cache and vectorized factorization hot paths.
+``repro.obs``
+    Structured tracing, metrics registry, and the ``repro report``
+    run-ledger renderer.
 """
 
 from .errors import (
@@ -48,6 +53,7 @@ from .errors import (
     ShapeError,
     SingularFactorError,
     SparseFormatError,
+    SuiteWorkerError,
 )
 from .sparse import (
     COOMatrix,
@@ -90,6 +96,15 @@ from .core import (
     wavefront_aware_sparsify,
 )
 from .machine import A100, EPYC_7413, V100, DeviceModel, get_device
+from .obs import (
+    MetricsRegistry,
+    TraceRecorder,
+    get_metrics,
+    get_recorder,
+    render_report,
+    set_recorder,
+    use_recorder,
+)
 from .resilience import (
     FailureClass,
     FallbackPolicy,
@@ -112,6 +127,7 @@ __all__ = [
     "SingularFactorError", "NotSymmetricError", "NotPositiveDefiniteError",
     "ConvergenceError", "MatrixMarketError", "DatasetError",
     "DeviceModelError", "InvalidCriterionError", "AbortSolve",
+    "SuiteWorkerError",
     # sparse
     "COOMatrix", "CSRMatrix", "CSCMatrix", "eye", "diags", "random_spd",
     "stencil_poisson_1d", "stencil_poisson_2d", "stencil_poisson_3d",
@@ -129,6 +145,9 @@ __all__ = [
     "wavefront_aware_sparsify", "SPCGResult", "spcg", "oracle_select",
     # machine
     "DeviceModel", "A100", "V100", "EPYC_7413", "get_device",
+    # obs
+    "TraceRecorder", "get_recorder", "set_recorder", "use_recorder",
+    "MetricsRegistry", "get_metrics", "render_report",
     # resilience
     "FaultSpec", "FaultPlan", "FailureClass", "GuardConfig", "GuardTrip",
     "ResidualGuard", "classify_failure", "FallbackPolicy",

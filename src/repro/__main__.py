@@ -7,18 +7,43 @@ Commands
     the headline aggregates.
 ``solve``
     Solve a Matrix Market system with SPCG and report the decision.
+``report``
+    Render the run ledger (per-matrix phase table, cache hit rates,
+    failure taxonomy) from a ``--trace`` JSON-lines file.
 ``datasets``
     List the registry (name, category, order, nnz on demand).
 ``devices``
     Show the machine-model presets.
+
+``solve`` and ``suite`` accept ``--trace out.jsonl`` to record the
+structured event stream (see :mod:`repro.obs`); tracing is off — and
+zero-cost — otherwise.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 
 import numpy as np
+
+
+@contextmanager
+def _tracing(path: str | None):
+    """Install a recorder for the command body and dump it to *path*
+    afterwards; a no-op (null recorder stays installed) without
+    ``--trace``."""
+    if not path:
+        yield
+        return
+    from .obs import TraceRecorder, use_recorder
+
+    rec = TraceRecorder()
+    with use_recorder(rec):
+        yield
+    n = rec.dump(path)
+    print(f"trace: {n} events -> {path}", file=sys.stderr)
 
 
 def _cmd_suite(args) -> int:
@@ -35,13 +60,14 @@ def _cmd_suite(args) -> int:
     if not names:
         print("no matrices selected", file=sys.stderr)
         return 2
-    res = run_suite(names, device=get_device(args.device),
-                    precond=args.precond,
-                    k_candidates=tuple(args.k_candidates),
-                    run_fixed_ratios=not args.fast,
-                    progress=not args.quiet,
-                    robust=args.robust,
-                    parallel=args.jobs)
+    with _tracing(args.trace):
+        res = run_suite(names, device=get_device(args.device),
+                        precond=args.precond,
+                        k_candidates=tuple(args.k_candidates),
+                        run_fixed_ratios=not args.fast,
+                        progress=not args.quiet,
+                        robust=args.robust,
+                        parallel=args.jobs)
     agg = res.aggregates()
     print(f"\nmatrices: {agg.n_matrices}  device: {res.device}  "
           f"preconditioner: {res.precond_kind}")
@@ -80,8 +106,9 @@ def _cmd_solve(args) -> int:
     if args.robust:
         from .resilience import robust_spcg
 
-        report = robust_spcg(a, b, preconditioner=args.precond, k=args.k,
-                             tau=args.tau, omega=args.omega)
+        with _tracing(args.trace):
+            report = robust_spcg(a, b, preconditioner=args.precond,
+                                 k=args.k, tau=args.tau, omega=args.omega)
         print(report.summary())
         r = report.result
         resid = r.final_residual if r is not None else float("nan")
@@ -89,12 +116,24 @@ def _cmd_solve(args) -> int:
               f"converged={report.converged} attempts={report.n_attempts} "
               f"residual={resid:.3e}")
         return 0 if report.converged else 1
-    res = spcg(a, b, preconditioner=args.precond, k=args.k,
-               tau=args.tau, omega=args.omega)
+    with _tracing(args.trace):
+        res = spcg(a, b, preconditioner=args.precond, k=args.k,
+                   tau=args.tau, omega=args.omega)
     print(f"n={a.n_rows} nnz={a.nnz} ratio={res.chosen_ratio:g}% "
           f"converged={res.converged} iters={res.solve.n_iters} "
           f"residual={res.solve.final_residual:.3e}")
     return 0 if res.converged else 1
+
+
+def _cmd_report(args) -> int:
+    from .obs import render_report_file
+
+    try:
+        print(render_report_file(args.trace_file))
+    except FileNotFoundError:
+        print(f"no such trace file: {args.trace_file}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _cmd_datasets(args) -> int:
@@ -145,6 +184,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker threads for the sweep (deterministic "
                         "ordering; aggregates identical to --jobs 1)")
+    p.add_argument("--trace", default="", metavar="OUT.JSONL",
+                   help="record the structured event trace to this "
+                        "JSON-lines file (render with `repro report`)")
     p.set_defaults(func=_cmd_suite)
 
     p = sub.add_parser("solve", help="solve a Matrix Market system")
@@ -157,7 +199,15 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--robust", action="store_true",
                    help="solve through the robust_spcg fallback ladder "
                         "and print the per-attempt report")
+    p.add_argument("--trace", default="", metavar="OUT.JSONL",
+                   help="record the structured event trace to this "
+                        "JSON-lines file (render with `repro report`)")
     p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("report", help="render the run ledger from a "
+                                      "--trace JSON-lines file")
+    p.add_argument("trace_file")
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("datasets", help="list the matrix registry")
     p.add_argument("--verbose", action="store_true")

@@ -10,6 +10,7 @@ convergence-rate, not correctness, effect).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
@@ -18,6 +19,8 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..resilience.faults import FaultPlan
 
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_recorder
 from ..perf.cache import ArtifactCache, get_cache
 from ..perf.fingerprint import matrix_fingerprint
 from ..precond.base import Preconditioner
@@ -81,9 +84,17 @@ def make_preconditioner(a: CSRMatrix, kind: str, *, k: int = 1,
                          f"choose from {_PRECONDITIONERS}")
 
     def build() -> Preconditioner:
-        return _build_preconditioner(
+        t0 = time.perf_counter()
+        m = _build_preconditioner(
             a, kind, k=k, raise_on_zero_pivot=raise_on_zero_pivot,
             pivot_boost=pivot_boost, shift=shift)
+        wall = time.perf_counter() - t0
+        get_metrics().observe_phase("factorization", wall)
+        rec = get_recorder()
+        if rec.enabled:
+            rec.emit("factorization", kind=kind, n=a.n_rows, nnz=a.nnz,
+                     k=k, wall_s=wall)
+        return m
 
     if cache is False:
         return build()
@@ -137,7 +148,8 @@ def spcg(a: CSRMatrix, b: np.ndarray, *, preconditioner: str = "ilu0",
          callback: Callable[[int, float], None] | None = None,
          raise_on_zero_pivot: bool = False,
          pivot_boost: float = 1e-8,
-         fault_plan: "FaultPlan | None" = None) -> SPCGResult:
+         fault_plan: "FaultPlan | None" = None,
+         cache: ArtifactCache | bool | None = None) -> SPCGResult:
     """Solve ``A x = b`` with the sparsified preconditioned CG of Figure 2.
 
     Parameters
@@ -175,6 +187,13 @@ def spcg(a: CSRMatrix, b: np.ndarray, *, preconditioner: str = "ilu0",
         faults wrap the preconditioner (scope key ``"spcg"``).  This is
         the deterministic fault-injection hook — production solves leave
         it ``None``.
+    cache:
+        Forwarded to :func:`make_preconditioner`: ``None`` (default)
+        uses the process-wide :class:`~repro.perf.cache.ArtifactCache`,
+        ``False`` bypasses caching, an explicit instance uses that
+        instance.  When *fault_plan* actually corrupts ``Â`` the cache
+        is bypassed regardless — corrupted factors must never occupy
+        cache slots (the resilience-layer invariant).
 
     Returns
     -------
@@ -184,10 +203,17 @@ def spcg(a: CSRMatrix, b: np.ndarray, *, preconditioner: str = "ilu0",
                                         ratios=ratios)
     a_hat = decision.a_hat
     if fault_plan is not None:
-        a_hat = fault_plan.corrupt_matrix(a_hat, "spcg")
+        corrupted = fault_plan.corrupt_matrix(a_hat, "spcg")
+        if corrupted is not a_hat:
+            # A matrix fault fired: the factors below are poisoned, so
+            # they must not be stored in (or evict entries from) any
+            # shared cache.  ``corrupt_matrix`` returns the input object
+            # unchanged when nothing fired, so identity is the test.
+            cache = False
+        a_hat = corrupted
     m = make_preconditioner(a_hat, preconditioner, k=k,
                             raise_on_zero_pivot=raise_on_zero_pivot,
-                            pivot_boost=pivot_boost)
+                            pivot_boost=pivot_boost, cache=cache)
     if fault_plan is not None:
         m = fault_plan.wrap_preconditioner(m, "spcg")
     solve = pcg(a, b, m, criterion=criterion, x0=x0, callback=callback)

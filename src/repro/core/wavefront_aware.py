@@ -19,11 +19,14 @@ minimize perturbation when parallelism cannot improve).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..graph.stats import wavefront_reduction_percent
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_recorder
 from ..perf.cache import cached_level_schedule
 from ..sparse.csr import CSRMatrix
 from ..sparse.ops import extract_lower
@@ -120,6 +123,33 @@ def wavefront_aware_sparsify(a: CSRMatrix, *, tau: float = 1.0,
     is the definition used by the paper's evaluation, so it is the one
     implemented.
     """
+    t0 = time.perf_counter()
+    decision = _decide(a, tau=tau, omega=omega, ratios=ratios,
+                       exact_indicator=exact_indicator)
+    get_metrics().observe_phase("sparsify", time.perf_counter() - t0)
+    rec = get_recorder()
+    if rec.enabled:
+        rec.emit(
+            "sparsify_decision",
+            chosen_ratio=decision.chosen_ratio,
+            fallback=decision.fallback,
+            w_original=decision.w_original,
+            tau=tau, omega=omega,
+            candidates=[{
+                "ratio_percent": c.ratio_percent,
+                "indicator": c.indicator,
+                "passed_convergence": c.passed_convergence,
+                "wavefronts": c.wavefronts,
+                "wavefront_reduction": c.wavefront_reduction,
+                "passed_wavefront": c.passed_wavefront,
+            } for c in decision.candidates])
+    return decision
+
+
+def _decide(a: CSRMatrix, *, tau: float, omega: float,
+            ratios: tuple[float, ...],
+            exact_indicator: bool) -> SparsificationDecision:
+    """Algorithm 2 proper (un-instrumented; see the public wrapper)."""
     if len(ratios) == 0:
         raise ValueError("need at least one candidate ratio")
     if any(r <= 0 or r > 100 for r in ratios):

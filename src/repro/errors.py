@@ -22,6 +22,7 @@ __all__ = [
     "FillLimitExceeded",
     "InvalidCriterionError",
     "AbortSolve",
+    "SuiteWorkerError",
 ]
 
 
@@ -100,6 +101,24 @@ class AbortSolve(ReproError, RuntimeError):
     :mod:`repro.resilience` health guards use to stop a diverging or
     stagnating solve without losing the iterate computed so far.
     """
+
+
+class SuiteWorkerError(ReproError, RuntimeError):
+    """A suite experiment failed; names the matrix that caused it.
+
+    Raised by :func:`repro.harness.suite.run_suite` on both the
+    sequential and the parallel path so a sweep failure always
+    identifies *which* matrix broke — the parallel runner drains every
+    remaining future (orderly pool shutdown, no abandoned work) before
+    re-raising the first failure with any further failing matrices
+    listed in the message.
+    """
+
+    def __init__(self, matrix: str, message: str | None = None):
+        self.matrix = str(matrix)
+        super().__init__(message
+                         or f"suite experiment failed on matrix "
+                            f"{matrix!r}")
 
 
 class FillLimitExceeded(ReproError, RuntimeError):

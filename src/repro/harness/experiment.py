@@ -20,6 +20,8 @@ parallelism.
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,6 +34,8 @@ from ..machine.device import A100, EPYC_7413, DeviceModel
 from ..machine.kernels import (IterationCost, iteration_cost,
                                time_ilu_factorization,
                                time_sparsification)
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_recorder
 from ..precond.base import Preconditioner
 from ..precond.iluk import iluk_symbolic
 from ..core.spcg import make_preconditioner
@@ -266,6 +270,29 @@ def select_best_k(a: CSRMatrix, b: np.ndarray, *,
     return best_k if best_k is not None else min(candidates)
 
 
+def _num(x: float) -> float | None:
+    """JSON-safe number: non-finite floats become ``None`` so traces
+    stay parseable by strict JSON readers (rendered as ``n/a``)."""
+    x = float(x)
+    return x if math.isfinite(x) else None
+
+
+def _variant_payload(m: MethodMetrics) -> dict:
+    """Ledger row for one solver variant (modeled phase seconds)."""
+    iter_s = (m.n_iters * m.per_iteration_seconds
+              if math.isfinite(m.per_iteration_seconds) else float("nan"))
+    return {
+        "converged": m.converged,
+        "n_iters": m.n_iters,
+        "sparsify_s": _num(m.sparsify_seconds),
+        "factor_s": _num(m.factor_seconds),
+        "iter_s": _num(iter_s),
+        "per_iteration_s": _num(m.per_iteration_seconds),
+        "wavefronts": m.total_wavefronts,
+        "failure_class": m.failure_class,
+    }
+
+
 def run_experiment(a: CSRMatrix, *, name: str = "matrix",
                    category: str = "unknown",
                    device: DeviceModel = A100,
@@ -316,6 +343,12 @@ def run_experiment(a: CSRMatrix, *, name: str = "matrix",
         Optional :class:`repro.resilience.FaultPlan` threaded into the
         robust run (fault-injection studies).
     """
+    t_start = time.perf_counter()
+    rec = get_recorder()
+    if rec.enabled:
+        rec.emit("experiment_start", name=name, category=category,
+                 n=a.n_rows, nnz=a.nnz, device=device.name,
+                 precond=precond)
     crit = criterion or StoppingCriterion.paper_default()
     b = rhs if rhs is not None else a.matvec(
         np.ones(a.n_rows, dtype=np.float64))
@@ -351,8 +384,40 @@ def run_experiment(a: CSRMatrix, *, name: str = "matrix",
             omega=omega, ratios=ratios, criterion=crit,
             fault_plan=fault_plan)
 
-    return ExperimentResult(
+    result = ExperimentResult(
         name=name, category=category, n=a.n_rows, nnz=a.nnz,
         device=device.name, precond_kind=precond, k=kk,
         baseline=baseline, spcg=spcg_m, decision=decision,
         per_ratio=per_ratio, robust=robust_report)
+
+    wall = time.perf_counter() - t_start
+    metrics = get_metrics()
+    metrics.inc("experiments.run")
+    # Pair modeled phase seconds with the wall clock recorded by the
+    # instrumented sparsify/factorize sites, so `repro report` (and the
+    # metrics snapshot) can compare simulated vs. real time per phase.
+    metrics.observe_phase("experiment", wall)
+    for phase_name, modeled in (("sparsify", spcg_m.sparsify_seconds),
+                                ("factorization", spcg_m.factor_seconds),
+                                ("iterations", spcg_m.n_iters
+                                 * spcg_m.per_iteration_seconds)):
+        if math.isfinite(modeled):
+            metrics.observe(f"phase.{phase_name}.modeled_s", modeled)
+    if rec.enabled:
+        robust_payload = None
+        if robust_report is not None:
+            robust_payload = {
+                "converged": robust_report.converged,
+                "n_attempts": robust_report.n_attempts,
+                "recovered_by": robust_report.recovered_by,
+                "failure_classes": list(robust_report.failure_classes),
+            }
+        rec.emit("experiment_end", name=name, category=category,
+                 n=a.n_rows, nnz=a.nnz, chosen_ratio=decision.chosen_ratio,
+                 wall_s=wall,
+                 baseline=_variant_payload(baseline),
+                 spcg=_variant_payload(spcg_m),
+                 per_iteration_speedup=_num(result.per_iteration_speedup),
+                 end_to_end_speedup=_num(result.end_to_end_speedup),
+                 robust=robust_payload)
+    return result

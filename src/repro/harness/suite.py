@@ -14,7 +14,10 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..errors import SuiteWorkerError
 from ..machine.device import A100, DeviceModel
+from ..obs.trace import get_recorder
+from ..perf.cache import get_cache
 from ..solvers.stopping import StoppingCriterion
 from ..util import gmean, spearman
 from ..datasets.registry import MatrixSpec, SUITE, load
@@ -57,6 +60,9 @@ class ResilienceAggregates:
     n_robust: int
     n_converged: int
     n_recovered: int
+    #: Recovered / faulted solves.  **NaN when zero faults occurred** —
+    #: a fault-free suite has no recovery rate, and the old ``1.0``
+    #: sentinel read as "100% recovery" in reports.
     recovery_rate: float
     mean_attempts: float
     failure_taxonomy: tuple[tuple[str, int], ...]
@@ -64,9 +70,11 @@ class ResilienceAggregates:
     def summary(self) -> str:
         tax = ", ".join(f"{k}×{v}" for k, v in self.failure_taxonomy) \
             or "none"
+        rate = ("n/a (no faults)" if np.isnan(self.recovery_rate)
+                else f"{100.0 * self.recovery_rate:.0f}%")
         return (f"robust: {self.n_converged}/{self.n_robust} converged, "
                 f"{self.n_recovered} via fallback "
-                f"(recovery rate {100.0 * self.recovery_rate:.0f}%), "
+                f"(recovery rate {rate}), "
                 f"mean {self.mean_attempts:.1f} attempts; "
                 f"failures seen: {tax}")
 
@@ -198,7 +206,8 @@ class SuiteResult:
             n_robust=n,
             n_converged=converged,
             n_recovered=recovered,
-            recovery_rate=(recovered / faulted if faulted else 1.0),
+            recovery_rate=(recovered / faulted if faulted
+                           else float("nan")),
             mean_attempts=float(np.mean([rep.n_attempts
                                          for rep in reports])),
             failure_taxonomy=tuple(self.failure_taxonomy().items()),
@@ -272,6 +281,15 @@ def run_suite(matrices: Iterable[MatrixSpec | str] | None = None, *,
         so aggregates are **identical** to the sequential path — the
         golden regression tests assert this.  Workers share the
         process-wide artifact cache.
+
+    Raises
+    ------
+    SuiteWorkerError
+        When an experiment raises, on either path, naming the failing
+        matrix.  The parallel runner drains every in-flight future
+        first (orderly pool shutdown) and lists any further failing
+        matrices in the message; completed results are not silently
+        discarded mid-drain.
     """
     if parallel < 1:
         raise ValueError("parallel must be >= 1")
@@ -306,28 +324,62 @@ def run_suite(matrices: Iterable[MatrixSpec | str] | None = None, *,
                      f"({res.robust.n_attempts} att)")
         print(line)
 
+    rec = get_recorder()
+    if rec.enabled:
+        rec.emit("suite_start", n_matrices=len(specs), device=device.name,
+                 precond=precond, parallel=parallel, robust=robust)
+
+    def _finish_suite(result: SuiteResult) -> SuiteResult:
+        if rec.enabled:
+            stats = get_cache().stats
+            rec.emit("suite_end", n_results=len(result.results),
+                     cache_hits=stats.hits, cache_misses=stats.misses,
+                     cache_hit_rate=stats.hit_rate,
+                     cache_evictions=stats.evictions)
+        return result
+
     out = SuiteResult(device=device.name, precond_kind=precond)
     if parallel == 1:
         for spec in specs:
-            res = _run_one(spec)
+            try:
+                res = _run_one(spec)
+            except Exception as exc:
+                raise SuiteWorkerError(spec.name) from exc
             if res is None:
                 continue
             out.results.append(res)
             if progress:
                 _report(spec, res)
-        return out
+        return _finish_suite(out)
 
     # Fan out over a thread pool; futures are drained in submission
     # order so `out.results` matches the sequential ordering exactly.
+    # Failures are caught per future: the drain keeps going so every
+    # in-flight experiment completes (orderly shutdown, nothing
+    # abandoned) and the error finally raised names the failing matrix
+    # instead of discarding the whole sweep anonymously.
     from concurrent.futures import ThreadPoolExecutor
 
+    failures: list[tuple[str, BaseException]] = []
     with ThreadPoolExecutor(max_workers=parallel) as pool:
         futures = [(spec, pool.submit(_run_one, spec)) for spec in specs]
         for spec, fut in futures:
-            res = fut.result()
+            try:
+                res = fut.result()
+            except Exception as exc:
+                failures.append((spec.name, exc))
+                continue
             if res is None:
                 continue
             out.results.append(res)
             if progress:
                 _report(spec, res)
-    return out
+    if failures:
+        first_name, first_exc = failures[0]
+        msg = f"suite experiment failed on matrix {first_name!r}"
+        if len(failures) > 1:
+            msg += (" (and "
+                    + ", ".join(repr(n) for n, _ in failures[1:])
+                    + ")")
+        raise SuiteWorkerError(first_name, msg) from first_exc
+    return _finish_suite(out)

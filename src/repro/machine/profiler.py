@@ -34,9 +34,14 @@ class PhaseUtilization:
     flops, bytes:
         Work and traffic during the phase.
     dram_util_percent:
-        Achieved bandwidth as % of device peak.
+        Achieved bandwidth as % of device peak (clamped to 100).
     compute_util_percent:
-        Achieved FLOP rate as % of device peak.
+        Achieved FLOP rate as % of device peak (clamped to 100).
+    clamped:
+        ``True`` when either raw percentage exceeded 100 — possible
+        only through the ``1e-30``-seconds floor on degenerate phases
+        (zero modeled time), never for a physical kernel mix.  Flagged
+        instead of silently reported so ledgers can mark the row.
     """
 
     seconds: float
@@ -44,6 +49,7 @@ class PhaseUtilization:
     bytes: float
     dram_util_percent: float
     compute_util_percent: float
+    clamped: bool = False
 
     @property
     def bound(self) -> str:
@@ -93,10 +99,17 @@ class KernelProfiler:
                      bytes_: float) -> PhaseUtilization:
         t = max(cost.total, 1e-30)
         dev = self.device
+        dram = 100.0 * (bytes_ / t) / dev.mem_bandwidth
+        compute = 100.0 * (flops / t) / dev.peak_flops
+        # The 1e-30 floor keeps the division defined for degenerate
+        # zero-time phases but can push the raw ratios past 100 %;
+        # clamp and flag instead of reporting an impossible utilization.
+        clamped = dram > 100.0 or compute > 100.0
         return PhaseUtilization(
             seconds=t,
             flops=flops,
             bytes=bytes_,
-            dram_util_percent=100.0 * (bytes_ / t) / dev.mem_bandwidth,
-            compute_util_percent=100.0 * (flops / t) / dev.peak_flops,
+            dram_util_percent=min(dram, 100.0),
+            compute_util_percent=min(compute, 100.0),
+            clamped=clamped,
         )

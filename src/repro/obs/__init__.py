@@ -1,0 +1,28 @@
+"""Observability layer: structured tracing, metrics, and the run ledger.
+
+See :mod:`repro.obs.trace` (typed events, JSONL round-trip),
+:mod:`repro.obs.metrics` (counters/gauges/histograms with paired
+wall-clock + modeled-seconds phase timers) and :mod:`repro.obs.report`
+(the ``repro report`` ledger renderer).
+
+The whole layer is **zero-cost when disabled**: the default recorder is
+the :data:`~repro.obs.trace.NULL_RECORDER` and every emission site in
+the solver/harness stack guards on ``recorder.enabled`` before building
+a payload.
+"""
+
+from .metrics import (HistogramStats, MetricsRegistry, get_metrics,
+                      set_metrics, use_metrics)
+from .report import render_report, render_report_file, summarize_trace
+from .trace import (EVENT_KINDS, NULL_RECORDER, NullRecorder, TraceEvent,
+                    TraceRecorder, get_recorder, load_jsonl, set_recorder,
+                    use_recorder)
+
+__all__ = [
+    "EVENT_KINDS", "TraceEvent", "TraceRecorder", "NullRecorder",
+    "NULL_RECORDER", "get_recorder", "set_recorder", "use_recorder",
+    "load_jsonl",
+    "HistogramStats", "MetricsRegistry", "get_metrics", "set_metrics",
+    "use_metrics",
+    "summarize_trace", "render_report", "render_report_file",
+]

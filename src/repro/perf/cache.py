@@ -32,6 +32,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, TypeVar
 
+from ..obs.trace import get_recorder
 from .fingerprint import structure_fingerprint
 
 __all__ = ["CacheStats", "ArtifactCache", "get_cache", "set_cache",
@@ -142,14 +143,24 @@ class ArtifactCache:
         if not self.enabled:
             return build()
         full_key = (kind,) + tuple(key)
+        rec = get_recorder()
         with self._lock:
             if full_key in self._store:
                 self._store.move_to_end(full_key)
                 self.stats.hits += 1
                 self._count(self.stats.hits_by_kind, kind)
-                return self._store[full_key]
-            self.stats.misses += 1
-            self._count(self.stats.misses_by_kind, kind)
+                value = self._store[full_key]
+                hit = True
+            else:
+                self.stats.misses += 1
+                self._count(self.stats.misses_by_kind, kind)
+                hit = False
+        # Trace emission stays outside the cache lock (the recorder has
+        # its own) and behind the enabled guard — zero-cost when off.
+        if rec.enabled:
+            rec.emit("cache_hit" if hit else "cache_miss", kind=kind)
+        if hit:
+            return value
         value = build()
         with self._lock:
             if self.maxsize > 0:

@@ -34,9 +34,11 @@ from ..core.wavefront_aware import (SparsificationDecision,
 from ..errors import ReproError
 from ..machine.device import A100, DeviceModel
 from ..machine.kernels import iteration_cost
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_recorder
 from ..precond.identity import IdentityPreconditioner
 from ..solvers.cg import pcg
-from ..solvers.result import SolveResult
+from ..solvers.result import SolveResult, TerminationReason
 from ..solvers.stopping import StoppingCriterion
 from ..sparse.csr import CSRMatrix
 from .guards import FailureClass, GuardConfig, ResidualGuard, classify_failure
@@ -265,10 +267,11 @@ def robust_spcg(a: CSRMatrix, b: np.ndarray, *,
     cache:
         Forwarded to :func:`~repro.core.spcg.make_preconditioner` on
         every rung: an :class:`~repro.perf.ArtifactCache`, ``False`` to
-        bypass the shared default (recommended for fault-injection
-        studies so corrupted factors never occupy cache slots), or
-        ``None`` for the process default. Keys are content-addressed,
-        so a corrupted ``Â`` can never *alias* a clean entry either way.
+        bypass caching entirely, or ``None`` for the process default.
+        Rungs whose matrix a fault plan actually corrupted bypass the
+        cache *unconditionally* — corrupted factors never occupy cache
+        slots.  Keys are content-addressed, so a corrupted ``Â`` can
+        never *alias* a clean entry either way.
 
     Returns
     -------
@@ -316,6 +319,23 @@ def robust_spcg(a: CSRMatrix, b: np.ndarray, *,
             n_iters=n_iters, final_residual=resid, failure=failure,
             detail=detail, pivot_boosted=boosted, shifted=shifted,
             modeled_seconds=seconds))
+        rec = get_recorder()
+        if rec.enabled:
+            rec.emit("fallback_rung", rung=rung.name, method=rung.method,
+                     ratio_percent=ratio,
+                     converged=attempts[-1].converged,
+                     n_iters=n_iters,
+                     failure=attempts[-1].failure_name,
+                     detail=detail, boosted=boosted, shifted=shifted,
+                     modeled_seconds=seconds)
+            if solve is not None and \
+                    solve.reason is TerminationReason.GUARD_TRIPPED:
+                rec.emit("guard_trip", rung=rung.name,
+                         detail=str(solve.extra.get("abort", "")),
+                         n_iters=n_iters)
+        get_metrics().inc("robust.attempts")
+        if failure is not None:
+            get_metrics().inc(f"robust.failures.{failure.value}")
         return failure
 
     def run_once(rung: FallbackRung, *, boosted: bool,
@@ -324,6 +344,7 @@ def robust_spcg(a: CSRMatrix, b: np.ndarray, *,
         nonlocal decision
         # -- matrix selection ------------------------------------------
         ratio = 0.0
+        rung_cache = cache
         try:
             if rung.method == "spcg":
                 if decision is None:
@@ -337,7 +358,13 @@ def robust_spcg(a: CSRMatrix, b: np.ndarray, *,
             else:
                 m_mat = a
             if fault_plan is not None and rung.method != "cg":
-                m_mat = fault_plan.corrupt_matrix(m_mat, rung.name)
+                corrupted = fault_plan.corrupt_matrix(m_mat, rung.name)
+                if corrupted is not m_mat:
+                    # The ladder's invariant: corrupted factors never
+                    # occupy cache slots.  A fault fired, so this rung's
+                    # build bypasses every cache unconditionally.
+                    rung_cache = False
+                m_mat = corrupted
 
             # -- preconditioner build ----------------------------------
             if rung.method == "cg":
@@ -351,7 +378,7 @@ def robust_spcg(a: CSRMatrix, b: np.ndarray, *,
                 if rung.precond == "ic0" and shifted:
                     kwargs["shift"] = policy.ic0_shift
                 m = make_preconditioner(m_mat, rung.precond,
-                                        cache=cache, **kwargs)
+                                        cache=rung_cache, **kwargs)
                 if fault_plan is not None:
                     m = fault_plan.wrap_preconditioner(m, rung.name)
         except (ReproError, FloatingPointError, ZeroDivisionError) as exc:
@@ -399,7 +426,14 @@ def robust_spcg(a: CSRMatrix, b: np.ndarray, *,
         if recovered_by is not None:
             break
 
-    return RobustSolveReport(
+    report = RobustSolveReport(
         attempts=attempts, result=best,
         converged=recovered_by is not None,
         recovered_by=recovered_by, decision=decision)
+    metrics = get_metrics()
+    metrics.inc("robust.solves")
+    if report.converged:
+        metrics.inc("robust.converged")
+    if report.recovered:
+        metrics.inc("robust.recovered")
+    return report

@@ -24,6 +24,8 @@ from typing import Callable
 import numpy as np
 
 from ..errors import AbortSolve, ShapeError
+from ..obs.metrics import get_metrics
+from ..obs.trace import TraceRecorder, get_recorder
 from ..precond.base import Preconditioner
 from ..precond.identity import IdentityPreconditioner
 from ..sparse.csr import CSRMatrix
@@ -31,6 +33,19 @@ from .result import SolveResult, TerminationReason
 from .stopping import StoppingCriterion
 
 __all__ = ["cg", "pcg"]
+
+
+def _finish(rec: TraceRecorder, res: SolveResult) -> SolveResult:
+    """Emit the ``solve_end`` event + per-solve metrics; returns *res*."""
+    if rec.enabled:
+        rec.emit("solve_end", converged=res.converged, n_iters=res.n_iters,
+                 reason=res.reason.value, final_residual=res.final_residual)
+    metrics = get_metrics()
+    metrics.inc("pcg.solves")
+    metrics.inc("pcg.iterations", res.n_iters)
+    if not res.converged:
+        metrics.inc(f"pcg.terminations.{res.reason.value}")
+    return res
 
 
 def pcg(a: CSRMatrix, b: np.ndarray, preconditioner: Preconditioner | None
@@ -89,6 +104,14 @@ def pcg(a: CSRMatrix, b: np.ndarray, preconditioner: Preconditioner | None
     b_norm = float(np.linalg.norm(b))
     threshold = crit.threshold(b_norm)
 
+    # Observability: one attribute load + branch per site when disabled
+    # (the NULL_RECORDER default), so the iteration hot path stays
+    # allocation-free without tracing — the perf-guard invariant.
+    rec = get_recorder()
+    if rec.enabled:
+        rec.emit("solve_start", n=n, nnz=a.nnz, precond=m.name,
+                 max_iters=crit.max_iters, tolerance=threshold)
+
     # r0 = b - A x0  (skip the SpMV for the common zero initial guess)
     r = b.astype(dtype, copy=True) if not x.any() else b - a.matvec(x)
     res_norms = [float(np.linalg.norm(r))]
@@ -96,25 +119,28 @@ def pcg(a: CSRMatrix, b: np.ndarray, preconditioner: Preconditioner | None
         try:
             callback(0, res_norms[0])
         except AbortSolve as exc:
-            return SolveResult(x=x, converged=False, n_iters=0,
-                               residual_norms=np.array(res_norms),
-                               reason=TerminationReason.GUARD_TRIPPED,
-                               tolerance=threshold,
-                               extra={"abort": exc})
+            return _finish(rec, SolveResult(
+                x=x, converged=False, n_iters=0,
+                residual_norms=np.array(res_norms),
+                reason=TerminationReason.GUARD_TRIPPED,
+                tolerance=threshold,
+                extra={"abort": exc}))
     if crit.is_met(res_norms[0], b_norm):
-        return SolveResult(x=x, converged=True, n_iters=0,
-                           residual_norms=np.array(res_norms),
-                           reason=TerminationReason.CONVERGED,
-                           tolerance=threshold)
+        return _finish(rec, SolveResult(
+            x=x, converged=True, n_iters=0,
+            residual_norms=np.array(res_norms),
+            reason=TerminationReason.CONVERGED,
+            tolerance=threshold))
 
     z = m.apply(r)
     p = z.astype(dtype, copy=True)
     rz = float(np.dot(r, z))
     if rz == 0.0 or not np.isfinite(rz):
-        return SolveResult(x=x, converged=False, n_iters=0,
-                           residual_norms=np.array(res_norms),
-                           reason=TerminationReason.NUMERICAL_BREAKDOWN,
-                           tolerance=threshold)
+        return _finish(rec, SolveResult(
+            x=x, converged=False, n_iters=0,
+            residual_norms=np.array(res_norms),
+            reason=TerminationReason.NUMERICAL_BREAKDOWN,
+            tolerance=threshold))
 
     reason = TerminationReason.MAX_ITERATIONS
     abort: AbortSolve | None = None
@@ -135,6 +161,8 @@ def pcg(a: CSRMatrix, b: np.ndarray, preconditioner: Preconditioner | None
         r -= alpha * w
         r_norm = float(np.linalg.norm(r))
         res_norms.append(r_norm)
+        if rec.enabled:
+            rec.emit("iteration", k=k, r_norm=r_norm)
         if callback is not None:
             try:
                 callback(k, r_norm)
@@ -157,7 +185,7 @@ def pcg(a: CSRMatrix, b: np.ndarray, preconditioner: Preconditioner | None
         rz = rz_new
         p = z + beta * p
 
-    return SolveResult(
+    return _finish(rec, SolveResult(
         x=x,
         converged=reason is TerminationReason.CONVERGED,
         n_iters=k,
@@ -165,7 +193,7 @@ def pcg(a: CSRMatrix, b: np.ndarray, preconditioner: Preconditioner | None
         reason=reason,
         tolerance=threshold,
         extra={"abort": abort} if abort is not None else {},
-    )
+    ))
 
 
 def cg(a: CSRMatrix, b: np.ndarray, **kwargs) -> SolveResult:

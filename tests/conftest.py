@@ -50,6 +50,19 @@ def _fresh_artifact_cache():
         yield cache
 
 
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    """Give every test its own metrics registry.
+
+    The instrumented solvers feed the process-wide registry; isolating
+    it per test keeps counter assertions independent of run order.
+    """
+    from repro.obs import MetricsRegistry, use_metrics
+
+    with use_metrics(MetricsRegistry()) as metrics:
+        yield metrics
+
+
 @pytest.fixture
 def small_dense() -> np.ndarray:
     """The 4×4 lower-triangular example of Figure 1a of the paper."""

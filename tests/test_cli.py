@@ -82,6 +82,56 @@ class TestSuiteCommand:
         assert rc == 2
 
 
+class TestTraceAndReport:
+    def test_solve_trace_writes_jsonl(self, tmp_path, capsys):
+        from repro.obs import load_jsonl
+
+        a = stencil_poisson_2d(12)
+        mtx = tmp_path / "sys.mtx"
+        write_matrix_market(mtx, a, symmetric=True)
+        trace = tmp_path / "solve.jsonl"
+        rc = main(["solve", str(mtx), "--trace", str(trace)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert trace.exists()
+        assert f"-> {trace}" in captured.err
+        events = load_jsonl(trace)
+        kinds = {e.kind for e in events}
+        assert {"sparsify_decision", "factorization",
+                "solve_start", "solve_end"} <= kinds
+
+    def test_suite_trace_then_report(self, tmp_path, capsys):
+        trace = tmp_path / "suite.jsonl"
+        rc = main(["suite", "--category", "thermal", "--limit", "2",
+                   "--fast", "--quiet", "--trace", str(trace)])
+        capsys.readouterr()
+        assert rc == 0
+        assert trace.exists()
+        rc = main(["report", str(trace)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "run ledger" in out
+        assert "per-matrix phases" in out
+        assert "artifact cache" in out
+        # The ledger names the matrices that actually ran.
+        assert "thermal" in out
+
+    def test_report_missing_file_fails(self, tmp_path, capsys):
+        rc = main(["report", str(tmp_path / "nope.jsonl")])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "no such trace file" in err
+
+    def test_no_trace_leaves_null_recorder(self, tmp_path, capsys):
+        from repro.obs import NULL_RECORDER, get_recorder
+
+        a = stencil_poisson_2d(8)
+        mtx = tmp_path / "q.mtx"
+        write_matrix_market(mtx, a, symmetric=True)
+        assert main(["solve", str(mtx)]) == 0
+        assert get_recorder() is NULL_RECORDER
+
+
 class TestArgparseBehaviour:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

@@ -165,3 +165,21 @@ class TestTimelineProfiler:
         u = KernelProfiler(A100).iteration_utilization(
             poisson16, ILU0Preconditioner(poisson16))
         assert u.bound == "latency"
+
+    def test_degenerate_phase_clamped_and_flagged(self):
+        # A zero-time phase hits the 1e-30-seconds floor, which used to
+        # report utilizations far above 100 %; they must now be clamped
+        # and the row flagged.
+        from repro.machine.kernels import IterationCost
+
+        zero = IterationCost(spmv=0.0, precond_fwd=0.0, precond_bwd=0.0,
+                             dots=0.0, axpys=0.0)
+        u = KernelProfiler(A100)._utilization(zero, flops=1e6, bytes_=1e6)
+        assert u.dram_util_percent == 100.0
+        assert u.compute_util_percent == 100.0
+        assert u.clamped
+
+    def test_physical_phase_not_flagged(self, poisson16):
+        u = KernelProfiler(A100).iteration_utilization(
+            poisson16, ILU0Preconditioner(poisson16))
+        assert not u.clamped

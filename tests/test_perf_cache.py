@@ -261,6 +261,72 @@ class TestMakePreconditionerCaching:
         assert "preconditioner" not in get_cache().stats.misses_by_kind
 
 
+class TestSpcgCacheParameter:
+    def test_explicit_cache_instance_used(self, spd_random, rng):
+        b = rng.standard_normal(spd_random.n_rows)
+        mine = ArtifactCache()
+        spcg(spd_random, b, cache=mine)
+        spcg(spd_random, b, cache=mine)
+        assert mine.stats.hits_by_kind.get("preconditioner", 0) >= 1
+        assert "preconditioner" not in get_cache().stats.misses_by_kind
+
+    def test_cache_false_bypasses(self, spd_random, rng):
+        b = rng.standard_normal(spd_random.n_rows)
+        r1 = spcg(spd_random, b, cache=False)
+        r2 = spcg(spd_random, b, cache=False)
+        assert r1.converged and r2.converged
+        assert r1.preconditioner is not r2.preconditioner
+        assert "preconditioner" not in get_cache().stats.misses_by_kind
+
+
+class TestCachePoisoningRegression:
+    """Regression for the cache-poisoning bug: ``spcg`` with an active
+    fault plan used to factorize the *corrupted* Â under the process
+    cache, so a later clean solve of the same system was served a
+    poisoned preconditioner."""
+
+    def _plan(self):
+        # Mild multiplicative corruption: the faulted factorization
+        # still completes, so the (pre-fix) poisoned factors would have
+        # been stored rather than raising.
+        from repro.resilience import FaultPlan, FaultSpec
+
+        return FaultPlan(FaultSpec("corrupt_values", rungs=("spcg",),
+                                   fraction=0.02, scale=2.0, seed=7))
+
+    def test_faulted_solve_leaves_no_cache_entry(self, spd_random, rng):
+        b = rng.standard_normal(spd_random.n_rows)
+        spcg(spd_random, b, fault_plan=self._plan())
+        stats = get_cache().stats
+        assert "preconditioner" not in stats.misses_by_kind
+        assert "preconditioner" not in stats.hits_by_kind
+
+    def test_clean_solve_after_faulted_never_reuses(self, spd_random, rng):
+        b = rng.standard_normal(spd_random.n_rows)
+        faulted = spcg(spd_random, b, fault_plan=self._plan())
+        clean = spcg(spd_random, b)
+        assert clean.converged
+        assert clean.preconditioner is not faulted.preconditioner
+        # The clean solve did a fresh factorization — a cache miss, not
+        # a hit on anything the faulted run left behind.
+        stats = get_cache().stats
+        assert stats.misses_by_kind.get("preconditioner", 0) >= 1
+        assert stats.hits_by_kind.get("preconditioner", 0) == 0
+
+    def test_inactive_plan_still_caches(self, spd_random, rng):
+        # A plan scoped to other rungs never fires for "spcg":
+        # corrupt_matrix returns Â unchanged, so caching stays on.
+        from repro.resilience import FaultPlan, FaultSpec
+
+        plan = FaultPlan(FaultSpec("zero_pivot", rungs=("dense",),
+                                   rows=(0,)))
+        b = rng.standard_normal(spd_random.n_rows)
+        r1 = spcg(spd_random, b, fault_plan=plan)
+        r2 = spcg(spd_random, b)
+        assert r1.converged and r2.converged
+        assert r2.preconditioner is r1.preconditioner
+
+
 class TestEnvKnobs:
     def test_env_disable(self, monkeypatch):
         from repro.perf.cache import _cache_from_env

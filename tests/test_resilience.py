@@ -521,6 +521,22 @@ class TestHarnessIntegration:
             else:
                 assert v1 == v2
 
+    def test_suite_robust_without_faults_reports_na(self):
+        # Zero faulted matrices make the recovery rate *undefined*; the
+        # old 0/0 → 0.0 read as "nothing ever recovered".
+        from repro.datasets import SUITE
+        from repro.harness import run_suite
+
+        names = [s.name for s in SUITE][:2]
+        res = run_suite(names, robust=True, run_fixed_ratios=False)
+        summary = res.resilience_summary()
+        assert summary is not None
+        assert summary.n_recovered == 0
+        assert summary.failure_taxonomy == ()
+        assert np.isnan(summary.recovery_rate)
+        assert "n/a (no faults)" in summary.summary()
+        assert "recovery rate 0%" not in summary.summary()
+
 
 # ---------------------------------------------------------------------------
 # Solver-level plumbing the resilience layer relies on.

@@ -20,6 +20,7 @@ import numpy as np
 import pytest
 
 from repro.datasets import MatrixSpec
+from repro.errors import SuiteWorkerError
 from repro.harness import run_suite
 
 GOLDEN = Path(__file__).parent / "golden" / "mini_suite_aggregates.json"
@@ -84,6 +85,77 @@ class TestParallelRunner:
         seq = run_suite(MINI_SUITE, max_n=0, parallel=1)
         par = run_suite(MINI_SUITE, max_n=0, parallel=2)
         assert seq.results == [] and par.results == []
+
+
+def _boom(name: str = "boom_matrix") -> MatrixSpec:
+    """A spec whose ``build()`` raises (unknown category → DatasetError)."""
+    return MatrixSpec(name=name, category="no_such_category", n=64, seed=0)
+
+
+class TestWorkerFailures:
+    """A failing experiment must name its matrix on both paths — the
+    pre-fix parallel runner let the first future's exception escape
+    ``fut.result()`` raw, tearing down the pool mid-drain with an
+    anonymous traceback."""
+
+    def test_sequential_names_failing_matrix(self):
+        specs = [MINI_SUITE[0], _boom()]
+        with pytest.raises(SuiteWorkerError) as ei:
+            run_suite(specs, run_fixed_ratios=False, parallel=1)
+        assert ei.value.matrix == "boom_matrix"
+        assert "boom_matrix" in str(ei.value)
+
+    def test_parallel_names_failing_matrix(self):
+        specs = [MINI_SUITE[0], _boom(), MINI_SUITE[2]]
+        with pytest.raises(SuiteWorkerError) as ei:
+            run_suite(specs, run_fixed_ratios=False, parallel=3)
+        assert ei.value.matrix == "boom_matrix"
+        assert "boom_matrix" in str(ei.value)
+
+    def test_sequential_and_parallel_report_same_matrix(self):
+        specs = [MINI_SUITE[0], _boom(), MINI_SUITE[2]]
+        with pytest.raises(SuiteWorkerError) as seq:
+            run_suite(specs, run_fixed_ratios=False, parallel=1)
+        with pytest.raises(SuiteWorkerError) as par:
+            run_suite(specs, run_fixed_ratios=False, parallel=2)
+        assert seq.value.matrix == par.value.matrix == "boom_matrix"
+
+    def test_parallel_lists_every_failing_matrix(self):
+        specs = [_boom("boom_a"), MINI_SUITE[0], _boom("boom_b")]
+        with pytest.raises(SuiteWorkerError) as ei:
+            run_suite(specs, run_fixed_ratios=False, parallel=3)
+        assert ei.value.matrix == "boom_a"
+        assert "boom_a" in str(ei.value) and "boom_b" in str(ei.value)
+
+    def test_parallel_drains_pool_before_raising(self):
+        # Every non-failing experiment still completes: the drain keeps
+        # going after the failure instead of abandoning in-flight work.
+        done: list[str] = []
+        specs = [_boom(), MINI_SUITE[0], MINI_SUITE[2]]
+
+        import repro.harness.suite as suite_mod
+
+        original = suite_mod.run_experiment
+
+        def spying(a, **kw):
+            res = original(a, **kw)
+            done.append(kw["name"])
+            return res
+
+        suite_mod.run_experiment = spying
+        try:
+            with pytest.raises(SuiteWorkerError):
+                run_suite(specs, run_fixed_ratios=False, parallel=3)
+        finally:
+            suite_mod.run_experiment = original
+        assert sorted(done) == ["mini_cfd", "mini_thermal"]
+
+    def test_cause_is_preserved(self):
+        from repro.errors import DatasetError
+
+        with pytest.raises(SuiteWorkerError) as ei:
+            run_suite([_boom()], run_fixed_ratios=False, parallel=2)
+        assert isinstance(ei.value.__cause__, DatasetError)
 
 
 class TestGoldenAggregates:

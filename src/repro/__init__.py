@@ -37,6 +37,9 @@ Subpackages
 ``repro.obs``
     Structured tracing, metrics registry, and the ``repro report``
     run-ledger renderer.
+``repro.batch``
+    Batched multi-RHS block PCG and the fingerprint-grouped
+    :class:`~repro.batch.SolverService`.
 """
 
 from .errors import (
@@ -96,6 +99,14 @@ from .core import (
     wavefront_aware_sparsify,
 )
 from .machine import A100, EPYC_7413, V100, DeviceModel, get_device
+from .batch import (
+    BatchReport,
+    BlockSolveResult,
+    GroupReport,
+    SolveRequest,
+    SolverService,
+    pcg_block,
+)
 from .obs import (
     MetricsRegistry,
     TraceRecorder,
@@ -145,6 +156,9 @@ __all__ = [
     "wavefront_aware_sparsify", "SPCGResult", "spcg", "oracle_select",
     # machine
     "DeviceModel", "A100", "V100", "EPYC_7413", "get_device",
+    # batch
+    "BlockSolveResult", "pcg_block", "SolveRequest", "GroupReport",
+    "BatchReport", "SolverService",
     # obs
     "TraceRecorder", "get_recorder", "set_recorder", "use_recorder",
     "MetricsRegistry", "get_metrics", "render_report",

@@ -10,6 +10,10 @@ Commands
 ``report``
     Render the run ledger (per-matrix phase table, cache hit rates,
     failure taxonomy) from a ``--trace`` JSON-lines file.
+``batch``
+    Batch-scaling study: dispatch grouped multi-RHS requests through
+    the :class:`~repro.batch.SolverService` and report modeled per-RHS
+    cost versus batch size.
 ``datasets``
     List the registry (name, category, order, nnz on demand).
 ``devices``
@@ -125,6 +129,38 @@ def _cmd_solve(args) -> int:
     return 0 if res.converged else 1
 
 
+def _cmd_batch(args) -> int:
+    from .harness import run_batch_scaling
+    from .sparse import stencil_poisson_2d
+
+    if args.mtx:
+        from .sparse import is_symmetric, read_matrix_market, symmetrize
+
+        a = read_matrix_market(args.mtx)
+        if not is_symmetric(a, tol=1e-12):
+            print("warning: symmetrizing input", file=sys.stderr)
+            a = symmetrize(a)
+        name = args.mtx
+    elif args.matrix:
+        from .datasets import load
+
+        a = load(args.matrix)
+        name = args.matrix
+    else:
+        a = stencil_poisson_2d(args.side)
+        name = f"poisson2d_{args.side}x{args.side}"
+    with _tracing(args.trace):
+        res = run_batch_scaling(a, name=name,
+                                batch_sizes=tuple(args.batch_sizes),
+                                preconditioner=args.precond, k=args.k,
+                                device=args.device, seed=args.seed)
+    print(res.summary_table())
+    n_conv = sum(p.n_converged for p in res.points)
+    n_req = sum(p.batch for p in res.points)
+    print(f"requests: {n_req}  converged: {n_conv}")
+    return 0 if n_conv == n_req else 1
+
+
 def _cmd_report(args) -> int:
     from .obs import render_report_file
 
@@ -203,6 +239,26 @@ def main(argv: list[str] | None = None) -> int:
                    help="record the structured event trace to this "
                         "JSON-lines file (render with `repro report`)")
     p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("batch", help="multi-RHS batch-scaling study "
+                                     "through the solver service")
+    p.add_argument("--matrix", default="",
+                   help="registry matrix name (see `repro datasets`)")
+    p.add_argument("--mtx", default="",
+                   help="Matrix Market file (overrides --matrix)")
+    p.add_argument("--side", type=int, default=24,
+                   help="grid side of the default 2-D Poisson stand-in")
+    p.add_argument("--precond", default="ilu0",
+                   choices=["ilu0", "iluk", "ic0", "jacobi"])
+    p.add_argument("--k", type=int, default=1)
+    p.add_argument("--batch-sizes", type=int, nargs="+",
+                   default=[1, 2, 4, 8], dest="batch_sizes")
+    p.add_argument("--device", default="a100")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", default="", metavar="OUT.JSONL",
+                   help="record the structured event trace to this "
+                        "JSON-lines file (render with `repro report`)")
+    p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("report", help="render the run ledger from a "
                                       "--trace JSON-lines file")

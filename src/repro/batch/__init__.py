@@ -1,0 +1,22 @@
+"""Batched multi-RHS solves and the fingerprint-grouped solver service.
+
+The paper removes per-wavefront synchronization by sparsifying the
+preconditioner; this package removes it a second way, orthogonal to the
+first: amortizing each wavefront's launch and barrier across a block of
+right-hand sides.  :func:`pcg_block` is the block Algorithm 1 (per-column
+scalars, per-column convergence, frozen columns never recomputed);
+:class:`SolverService` turns a stream of ``(A, b)`` requests into
+fingerprint-grouped batched dispatches that reuse cached factorizations.
+"""
+
+from .block import BlockSolveResult, pcg_block
+from .service import BatchReport, GroupReport, SolveRequest, SolverService
+
+__all__ = [
+    "BlockSolveResult",
+    "pcg_block",
+    "SolveRequest",
+    "GroupReport",
+    "BatchReport",
+    "SolverService",
+]

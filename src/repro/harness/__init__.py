@@ -9,9 +9,12 @@ the statistics every table and figure of the paper reports.
   the aggregates (geometric-mean speedups, % accelerated, Spearman
   correlations);
 * :mod:`~repro.harness.report` — ASCII rendering of the paper's
-  histograms, scatter plots, bar charts and tables.
+  histograms, scatter plots, bar charts and tables;
+* :mod:`~repro.harness.batch_bench` — multi-RHS batch-scaling study
+  (per-RHS modeled cost vs batch size through the solver service).
 """
 
+from .batch_bench import BatchPoint, BatchScalingResult, run_batch_scaling
 from .experiment import (
     ExperimentResult,
     MethodMetrics,
@@ -30,6 +33,9 @@ from .report import (
 )
 
 __all__ = [
+    "BatchPoint",
+    "BatchScalingResult",
+    "run_batch_scaling",
     "MethodMetrics",
     "ExperimentResult",
     "run_experiment",

@@ -25,10 +25,15 @@ from .device import DeviceModel, A100, V100, EPYC_7413, get_device
 from .kernels import (
     IterationCost,
     iteration_cost,
+    iteration_cost_batched,
     time_dot,
+    time_dot_batched,
     time_axpy,
+    time_axpy_batched,
     time_spmv,
+    time_spmv_batched,
     time_trisolve,
+    time_trisolve_batched,
     time_trisolve_aggregated,
     time_ilu_factorization,
     time_sparsification,
@@ -44,10 +49,15 @@ __all__ = [
     "get_device",
     "IterationCost",
     "iteration_cost",
+    "iteration_cost_batched",
     "time_dot",
+    "time_dot_batched",
     "time_axpy",
+    "time_axpy_batched",
     "time_spmv",
+    "time_spmv_batched",
     "time_trisolve",
+    "time_trisolve_batched",
     "time_trisolve_aggregated",
     "time_ilu_factorization",
     "time_sparsification",

@@ -62,6 +62,12 @@ class Timeline:
             ev = self.fault_hook(ev)
             if ev is None:
                 return
+            # A hook may return a *replacement* event (e.g. an inflated
+            # retry); it gets the same validation as the original, else a
+            # hostile hook could corrupt total_seconds and every phase
+            # aggregate with a negative duration.
+            if ev.seconds < 0:
+                raise ValueError("event duration must be non-negative")
         self.events.append(ev)
 
     @property

@@ -22,6 +22,9 @@ Event kinds
     One matrix of a harness sweep (the ledger's per-matrix rows).
 ``suite_start`` / ``suite_end``
     Sweep boundaries; ``suite_end`` carries the cache-stats snapshot.
+``batch_start`` / ``batch_end``
+    One fingerprint-grouped batched solve dispatched by
+    :class:`repro.batch.SolverService`; both carry the batch size.
 
 Zero-cost-when-off invariant
 ----------------------------
@@ -56,6 +59,7 @@ EVENT_KINDS = (
     "fallback_rung", "guard_trip",
     "experiment_start", "experiment_end",
     "suite_start", "suite_end",
+    "batch_start", "batch_end",
 )
 
 

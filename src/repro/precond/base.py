@@ -32,7 +32,13 @@ class Preconditioner(abc.ABC):
               ) -> np.ndarray:
         """Return ``z = M⁻¹ r``.
 
-        Must not modify *r*; may write into *out* when provided.
+        Must not modify *r*; may write into *out* when provided.  *r*
+        may be a single residual of shape ``(n,)`` or an ``(n, B)``
+        block of residuals — every implementation serves all ``B``
+        columns with the same wavefront sweeps one column would take
+        (the multi-RHS amortization :func:`repro.batch.pcg_block`
+        builds on), and column ``j`` of the block result equals
+        ``apply(r[:, j])``.
         """
 
     # -- cost metadata (overridden by factor-based preconditioners) -------

@@ -39,10 +39,12 @@ class JacobiPreconditioner(Preconditioner):
 
     def apply(self, r: np.ndarray, out: np.ndarray | None = None
               ) -> np.ndarray:
+        r = np.asarray(r)
+        d = self._inv_diag if r.ndim == 1 else self._inv_diag[:, None]
         if out is not None:
-            np.multiply(r, self._inv_diag, out=out)
+            np.multiply(r, d, out=out)
             return out
-        return r * self._inv_diag
+        return r * d
 
     def apply_nnz(self) -> int:
         return self.n

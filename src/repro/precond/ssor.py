@@ -66,7 +66,7 @@ class SSORPreconditioner(Preconditioner):
               ) -> np.ndarray:
         """``z = M⁻¹ r`` via forward sweep, diagonal scale, backward sweep."""
         y = self._fwd.solve(r)
-        y = y * self._mid
+        y = y * (self._mid if y.ndim == 1 else self._mid[:, None])
         return self._bwd.solve(y, out=out)
 
     def apply_nnz(self) -> int:

@@ -246,8 +246,16 @@ class ScheduledTriangularSolver:
         everything is float64 (the common case) the per-level gather,
         product, prefix sum, and subtraction all run into preallocated
         scratch buffers — zero allocations inside the wavefront loop.
+
+        *b* may also be an ``(n, B)`` block of right-hand sides; the same
+        ``n_levels`` wavefront sweeps then serve all ``B`` columns at
+        once (the per-level barriers are paid once per sweep, not once
+        per column), and each column of the result is bitwise identical
+        to the single-RHS solve on that column.
         """
         b = np.asarray(b)
+        if b.ndim == 2:
+            return self._solve_block(b, out)
         if b.shape != (self.n,):
             raise ShapeError(f"b must have shape ({self.n},)")
         dtype = np.result_type(self.dtype, b.dtype)
@@ -297,6 +305,42 @@ class ScheduledTriangularSolver:
             if inv_diag is not None:
                 acc = acc * inv_diag[rows_k]
             x[rows_k] = acc
+        return x
+
+    def _solve_block(self, b: np.ndarray, out: np.ndarray | None = None
+                     ) -> np.ndarray:
+        """Multi-RHS wavefront sweep over an ``(n, B)`` block.
+
+        One batched segmented kernel per level; the inner
+        :func:`~repro.util.segment_sum` runs its float64 cumsum along
+        axis 0, so column ``j`` of the result reproduces
+        ``solve(b[:, j])`` bitwise.
+        """
+        if b.shape[0] != self.n:
+            raise ShapeError(f"b must have shape ({self.n}, B), "
+                             f"got {b.shape}")
+        dtype = np.result_type(self.dtype, b.dtype)
+        x = out if out is not None else np.empty(b.shape, dtype=dtype)
+        if x.shape != b.shape:
+            raise ShapeError(f"out must have shape {b.shape}")
+        rows, seg_ptr = self._rows, self._seg_ptr
+        gcols, gvals = self._gather_cols, self._gather_vals
+        lp = self._level_ptr
+        inv_diag = self._inv_diag
+        for k in range(self.n_levels):
+            lo, hi = lp[k], lp[k + 1]
+            rows_k = rows[lo:hi]
+            s0, s1 = seg_ptr[lo], seg_ptr[hi]
+            if s1 > s0:
+                prod = gvals[s0:s1, None] * x[gcols[s0:s1], :]
+                sums = segment_sum(prod, seg_ptr[lo:hi] - s0,
+                                   seg_ptr[lo + 1:hi + 1] - s0)
+                acc = b[rows_k, :] - sums
+            else:
+                acc = b[rows_k, :].astype(dtype, copy=True)
+            if inv_diag is not None:
+                acc = acc * inv_diag[rows_k][:, None]
+            x[rows_k, :] = acc
         return x
 
     __call__ = solve

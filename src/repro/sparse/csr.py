@@ -199,9 +199,33 @@ class CSRMatrix:
         out[...] = y
         return out
 
+    def matmat(self, x: np.ndarray, out: np.ndarray | None = None
+               ) -> np.ndarray:
+        """Sparse matrix–dense block product ``Y = A @ X``, ``X`` (n, B).
+
+        The batched SpMV of the multi-RHS solver: one gather + segmented
+        sum serves all ``B`` columns.  Each column of the result is
+        bitwise identical to :meth:`matvec` on that column alone (the
+        segmented float64 cumsum performs the same additions in the same
+        order), so block solves decompose exactly into single-RHS ones.
+        """
+        x = np.asarray(x)
+        if x.ndim != 2 or x.shape[0] != self.n_cols:
+            raise ShapeError(
+                f"x must have shape ({self.n_cols}, B), got {x.shape}")
+        prod = self.data[:, None] * x[self.indices, :]
+        y = segment_sum(prod, self.indptr[:-1], self.indptr[1:])
+        y = y.astype(np.result_type(self.data.dtype, x.dtype), copy=False)
+        if out is None:
+            return y
+        out[...] = y
+        return out
+
     def __matmul__(self, x):
         if isinstance(x, np.ndarray) and x.ndim == 1:
             return self.matvec(x)
+        if isinstance(x, np.ndarray) and x.ndim == 2:
+            return self.matmat(x)
         return NotImplemented
 
     def diagonal(self) -> np.ndarray:

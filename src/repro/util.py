@@ -71,7 +71,9 @@ def segment_sum(values: np.ndarray, starts: np.ndarray, ends: np.ndarray,
     Parameters
     ----------
     values:
-        1-D array of addends.
+        1-D array of addends, or a 2-D ``(len, B)`` block whose segments
+        are summed along axis 0 — one batched kernel serving all ``B``
+        columns (the multi-RHS triangular sweep).
     starts, ends:
         Integer arrays of equal length giving segment boundaries,
         ``0 <= starts[i] <= ends[i] <= len(values)``.
@@ -82,15 +84,22 @@ def segment_sum(values: np.ndarray, starts: np.ndarray, ends: np.ndarray,
     -----
     The cumulative sum is taken in float64 regardless of input dtype to
     avoid catastrophic cancellation for long prefixes, then cast back.
+    For 2-D input each column's sums are bitwise identical to the 1-D
+    call on that column alone (same additions, same order), which is
+    what lets the batched triangular solver decompose exactly into the
+    single-RHS one.
     """
     values = np.asarray(values)
     starts = np.asarray(starts, dtype=np.int64)
     ends = np.asarray(ends, dtype=np.int64)
     if starts.shape != ends.shape:
         raise ShapeError("starts and ends must have identical shapes")
-    csum = np.empty(values.shape[0] + 1, dtype=np.float64)
+    if values.ndim not in (1, 2):
+        raise ShapeError("values must be 1-D or 2-D (segments along axis 0)")
+    csum = np.empty((values.shape[0] + 1,) + values.shape[1:],
+                    dtype=np.float64)
     csum[0] = 0.0
-    np.cumsum(values, dtype=np.float64, out=csum[1:])
+    np.cumsum(values, axis=0, dtype=np.float64, out=csum[1:])
     res = csum[ends] - csum[starts]
     if out is None:
         return res.astype(values.dtype, copy=False)
@@ -185,6 +194,11 @@ def histogram_fixed(values: np.ndarray, lo: float, hi: float,
     if width <= 0 or hi <= lo:
         raise ValueError("require width > 0 and hi > lo")
     edges = np.arange(lo, hi + width * 0.5, width)
+    # When (hi-lo)/width is non-integral the last arange edge lands below
+    # hi, so values clamped to nextafter(hi, lo) would fall outside every
+    # bin and percent would sum to < 100.  Extend the final edge to hi.
+    if edges.size < 2 or edges[-1] < hi:
+        edges = np.append(edges, hi)
     clipped = np.clip(values, lo, np.nextafter(hi, lo))
     counts, _ = np.histogram(clipped, bins=edges)
     if values.size:

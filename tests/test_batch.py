@@ -1,0 +1,408 @@
+"""Tests for repro.batch — block PCG, batched pricing, solver service.
+
+The load-bearing invariant: a batched solve is *semantically invisible*.
+Every column of :func:`pcg_block` must match the sequential
+:func:`~repro.solvers.cg.pcg` run on that column alone — same
+termination reason, same iteration count, residual histories within
+1e-10 — while the machine model prices the block strictly cheaper per
+RHS than solo solves.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.batch import (BatchReport, BlockSolveResult, SolveRequest,
+                         SolverService, pcg_block)
+from repro.errors import AbortSolve, ShapeError
+from repro.harness import run_batch_scaling
+from repro.machine import (A100, iteration_cost, iteration_cost_batched,
+                           time_axpy, time_axpy_batched, time_dot,
+                           time_dot_batched, time_spmv, time_spmv_batched,
+                           time_trisolve, time_trisolve_batched)
+from repro.obs import TraceRecorder, get_metrics, use_recorder
+from repro.precond import (ILU0Preconditioner, JacobiPreconditioner,
+                           SSORPreconditioner, ScheduledTriangularSolver)
+from repro.solvers import StoppingCriterion, TerminationReason, pcg
+from repro.sparse import CSRMatrix, diags, stencil_poisson_2d
+
+from test_properties import dense_matrix
+
+
+def _assert_columns_match_sequential(a, b_block, make_precond,
+                                     criterion=None):
+    """Each column of the block result must match a fresh sequential
+    pcg on that column (reason, iterations, histories, iterates)."""
+    blk = pcg_block(a, b_block, make_precond(), criterion=criterion)
+    assert blk.batch == b_block.shape[1]
+    for j in range(b_block.shape[1]):
+        seq = pcg(a, b_block[:, j], make_precond(), criterion=criterion)
+        col = blk.column(j)
+        assert col.reason == seq.reason, f"column {j}"
+        assert col.n_iters == seq.n_iters, f"column {j}"
+        assert col.converged == seq.converged
+        assert col.residual_norms.shape == seq.residual_norms.shape
+        np.testing.assert_allclose(col.residual_norms, seq.residual_norms,
+                                   rtol=0, atol=1e-10)
+        np.testing.assert_allclose(col.x, seq.x, rtol=0, atol=1e-10)
+        assert col.tolerance == pytest.approx(seq.tolerance)
+    return blk
+
+
+class TestBlockMatchesSequential:
+    @pytest.mark.parametrize("nb", [1, 2, 5])
+    def test_poisson_ilu0(self, poisson16, make_rng, nb):
+        rng = make_rng(nb)
+        b = rng.standard_normal((poisson16.n_rows, nb))
+        _assert_columns_match_sequential(
+            poisson16, b, lambda: ILU0Preconditioner(poisson16))
+
+    @pytest.mark.parametrize("nb", [2, 5])
+    def test_poisson_jacobi(self, poisson16, make_rng, nb):
+        rng = make_rng(10 + nb)
+        b = rng.standard_normal((poisson16.n_rows, nb))
+        _assert_columns_match_sequential(
+            poisson16, b, lambda: JacobiPreconditioner(poisson16))
+
+    def test_poisson_ssor(self, poisson16, make_rng):
+        b = make_rng(20).standard_normal((poisson16.n_rows, 3))
+        _assert_columns_match_sequential(
+            poisson16, b, lambda: SSORPreconditioner(poisson16))
+
+    @given(dense_matrix(max_n=20, spd=True), st.sampled_from([1, 2, 5]),
+           st.integers(0, 2 ** 31))
+    @settings(max_examples=40, deadline=None)
+    def test_property_identity_precond(self, dense, nb, seed):
+        a = CSRMatrix.from_dense(dense)
+        rng = np.random.default_rng(seed)
+        b = rng.standard_normal((a.n_rows, nb))
+        _assert_columns_match_sequential(a, b, lambda: None)
+
+    @given(dense_matrix(max_n=20, spd=True), st.sampled_from([2, 5]),
+           st.integers(0, 2 ** 31))
+    @settings(max_examples=25, deadline=None)
+    def test_property_ilu0_precond(self, dense, nb, seed):
+        a = CSRMatrix.from_dense(dense)
+        rng = np.random.default_rng(seed)
+        b = rng.standard_normal((a.n_rows, nb))
+        _assert_columns_match_sequential(
+            a, b, lambda: ILU0Preconditioner(a))
+
+    def test_mixed_terminations_in_one_block(self):
+        # diag(1, -1, 2): the -1 eigendirection has negative curvature.
+        # Column 0 (all zeros) converges at iteration 0; column 1 (e2)
+        # hits p·Ap < 0 -> INDEFINITE; column 2 lives in the positive
+        # eigenspace and converges.  One block, three destinies.
+        a = diags({0: np.array([1.0, -1.0, 2.0])}, 3)
+        b = np.zeros((3, 3))
+        b[1, 1] = 1.0      # e2 -> indefinite direction
+        b[0, 2] = 1.0      # e1 -> converges in one step
+        blk = _assert_columns_match_sequential(a, b, lambda: None)
+        assert blk.reasons[0] == TerminationReason.CONVERGED
+        assert blk.n_iters[0] == 0
+        assert blk.reasons[1] == TerminationReason.INDEFINITE
+        assert blk.reasons[2] == TerminationReason.CONVERGED
+        assert not blk.all_converged
+        assert blk.converged.tolist() == [True, False, True]
+
+    def test_frozen_column_rides_along(self, poisson16, make_rng):
+        # One column converges immediately (b = 0) while the other needs
+        # real iterations: the frozen column's history must stop at
+        # length 1 and its solution must stay exactly zero.
+        rng = make_rng(31)
+        b = np.zeros((poisson16.n_rows, 2))
+        b[:, 1] = rng.standard_normal(poisson16.n_rows)
+        blk = pcg_block(poisson16, b, ILU0Preconditioner(poisson16))
+        assert blk.n_iters[0] == 0
+        assert len(blk.residual_norms[0]) == 1
+        np.testing.assert_array_equal(blk.x[:, 0], 0.0)
+        assert blk.n_iters[1] > 0
+        assert blk.converged.all()
+
+    def test_max_iterations(self, poisson16, make_rng):
+        crit = StoppingCriterion(rtol=0.0, atol=1e-300, max_iters=3)
+        b = make_rng(32).standard_normal((poisson16.n_rows, 2))
+        blk = _assert_columns_match_sequential(
+            poisson16, b, lambda: None, criterion=crit)
+        assert all(r == TerminationReason.MAX_ITERATIONS
+                   for r in blk.reasons)
+        assert blk.n_iters.tolist() == [3, 3]
+
+    def test_callback_abort_marks_active_columns(self, poisson16, make_rng):
+        b = make_rng(33).standard_normal((poisson16.n_rows, 2))
+
+        def guard(k, r_norms):
+            assert r_norms.shape == (2,)
+            if k >= 2:
+                raise AbortSolve("enough")
+
+        blk = pcg_block(poisson16, b, callback=guard)
+        assert all(r == TerminationReason.GUARD_TRIPPED
+                   for r in blk.reasons)
+        assert blk.n_iters.tolist() == [2, 2]
+        assert isinstance(blk.column(0).extra["abort"], AbortSolve)
+
+    def test_one_dim_rhs_promoted(self, poisson16, make_rng):
+        b = make_rng(34).standard_normal(poisson16.n_rows)
+        blk = pcg_block(poisson16, b)
+        assert blk.batch == 1
+        seq = pcg(poisson16, b)
+        np.testing.assert_allclose(blk.column(0).x, seq.x, atol=1e-10)
+
+    def test_iterating_block_yields_columns(self, poisson16, make_rng):
+        b = make_rng(35).standard_normal((poisson16.n_rows, 3))
+        blk = pcg_block(poisson16, b, JacobiPreconditioner(poisson16))
+        cols = list(blk)
+        assert len(cols) == len(blk) == 3
+        assert all(c.converged for c in cols)
+
+    def test_shape_validation(self, poisson16):
+        with pytest.raises(ShapeError):
+            pcg_block(poisson16, np.ones((7, 2)))
+        with pytest.raises(ShapeError):
+            pcg_block(poisson16, np.ones((poisson16.n_rows, 0)))
+        with pytest.raises(ShapeError):
+            pcg_block(poisson16, np.ones((poisson16.n_rows, 2)),
+                      x0=np.ones(poisson16.n_rows))
+
+    def test_batched_metrics(self, poisson16, make_rng):
+        b = make_rng(36).standard_normal((poisson16.n_rows, 4))
+        blk = pcg_block(poisson16, b, ILU0Preconditioner(poisson16))
+        m = get_metrics()
+        assert m.counter("pcg.batched_solves") == 1
+        assert m.counter("pcg.batched_rhs") == 4
+        assert m.counter("pcg.batched_sweeps") == blk.block_iters
+
+
+class TestBatchedApply:
+    """2-D right-hand sides through the shared kernels: column j of the
+    block result must be *bitwise* the 1-D result on that column."""
+
+    def test_trisolve_block_bitwise(self, make_rng):
+        rng = make_rng(40)
+        a = stencil_poisson_2d(8)
+        m = ILU0Preconditioner(a)
+        fwd, bwd = m.solvers()
+        for solver in (fwd, bwd):
+            b = rng.standard_normal((a.n_rows, 4))
+            xb = solver.solve(b)
+            assert xb.shape == b.shape
+            for j in range(4):
+                np.testing.assert_array_equal(xb[:, j],
+                                              solver.solve(b[:, j]))
+
+    def test_trisolve_block_out_param(self, fig1_lower, make_rng):
+        solver = ScheduledTriangularSolver(fig1_lower, kind="lower")
+        b = make_rng(41).standard_normal((4, 3))
+        out = np.empty_like(b)
+        res = solver.solve(b, out=out)
+        assert res is out
+        np.testing.assert_array_equal(out[:, 1], solver.solve(b[:, 1]))
+
+    def test_matmat_bitwise_columns(self, poisson16, make_rng):
+        x = make_rng(42).standard_normal((poisson16.n_rows, 5))
+        y = poisson16.matmat(x)
+        for j in range(5):
+            np.testing.assert_array_equal(y[:, j],
+                                          poisson16.matvec(x[:, j]))
+
+    def test_matmul_operator_dispatches_2d(self, poisson16, make_rng):
+        x = make_rng(43).standard_normal((poisson16.n_rows, 2))
+        np.testing.assert_array_equal(poisson16 @ x,
+                                      poisson16.matmat(x))
+
+    @pytest.mark.parametrize("precond_cls", [
+        JacobiPreconditioner, SSORPreconditioner, ILU0Preconditioner])
+    def test_preconditioner_apply_block(self, poisson16, make_rng,
+                                        precond_cls):
+        m = precond_cls(poisson16)
+        r = make_rng(44).standard_normal((poisson16.n_rows, 3))
+        z = m.apply(r)
+        assert z.shape == r.shape
+        for j in range(3):
+            np.testing.assert_array_equal(z[:, j], m.apply(r[:, j]))
+
+
+class TestBatchedPricing:
+    def test_batch_one_reproduces_unbatched(self, poisson16):
+        dev = A100
+        n, nnz = poisson16.n_rows, poisson16.nnz
+        assert time_spmv_batched(dev, n, nnz, 1) == time_spmv(dev, n, nnz)
+        assert time_dot_batched(dev, n, 1) == time_dot(dev, n)
+        assert time_axpy_batched(dev, n, 1) == time_axpy(dev, n)
+        m = ILU0Preconditioner(poisson16)
+        fwd, _ = m.solvers()
+        rf, nf = fwd.kernel_profile()
+        assert time_trisolve_batched(dev, rf, nf, 1) == \
+            time_trisolve(dev, rf, nf)
+        assert iteration_cost_batched(dev, poisson16, m, 1) == \
+            iteration_cost(dev, poisson16, m)
+
+    def test_per_rhs_cost_strictly_decreases(self, poisson16):
+        # The acceptance bar: B=8 per-RHS modeled cost strictly below
+        # B=1 on a wavefront-bound matrix, and monotone in between.
+        m = ILU0Preconditioner(poisson16)
+        per_rhs = [iteration_cost_batched(A100, poisson16, m, nb).total / nb
+                   for nb in (1, 2, 4, 8)]
+        assert all(b < a for a, b in zip(per_rhs, per_rhs[1:]))
+        assert per_rhs[-1] < per_rhs[0]
+
+    def test_total_cost_grows_sublinearly(self, poisson16):
+        m = ILU0Preconditioner(poisson16)
+        # Overhead-dominated at this size: total block time may not grow
+        # at all with B (bodies sit at the min-kernel-time floor), and
+        # must never reach B solo iterations.
+        t1 = iteration_cost_batched(A100, poisson16, m, 1).total
+        t8 = iteration_cost_batched(A100, poisson16, m, 8).total
+        assert t1 <= t8 < 8 * t1
+
+    def test_invalid_batch_rejected(self, poisson16):
+        m = JacobiPreconditioner(poisson16)
+        with pytest.raises(ValueError):
+            iteration_cost_batched(A100, poisson16, m, 0)
+        with pytest.raises(ValueError):
+            time_dot_batched(A100, 10, -1)
+
+
+class TestSolverService:
+    def test_results_in_submission_order(self, make_rng):
+        rng = make_rng(50)
+        a1, a2 = stencil_poisson_2d(8), stencil_poisson_2d(10)
+        svc = SolverService(preconditioner="jacobi")
+        expect = []
+        # Interleave two matrices so grouping must reorder internally.
+        for i in range(6):
+            a = a1 if i % 2 == 0 else a2
+            b = rng.standard_normal(a.n_rows)
+            svc.submit(a, b, tag=f"req{i}")
+            expect.append((a, b))
+        assert len(svc) == 6
+        report = svc.flush()
+        assert len(svc) == 0
+        assert report.n_requests == 6
+        assert report.tags == [f"req{i}" for i in range(6)]
+        assert len(report.groups) == 2
+        assert sorted(g.batch for g in report.groups) == [3, 3]
+        for (a, b), res in zip(expect, report.results):
+            seq = pcg(a, b, JacobiPreconditioner(a))
+            assert res.reason == seq.reason
+            assert res.n_iters == seq.n_iters
+            np.testing.assert_allclose(res.x, seq.x, atol=1e-10)
+        assert report.all_converged
+
+    def test_one_factorization_per_fingerprint(self, make_rng,
+                                               _fresh_artifact_cache):
+        rng = make_rng(51)
+        cache = _fresh_artifact_cache
+        a1, a2 = stencil_poisson_2d(6), stencil_poisson_2d(7)
+        svc = SolverService(preconditioner="ilu0")
+        for a in (a1, a2, a1, a2, a1):
+            svc.submit(a, rng.standard_normal(a.n_rows))
+        svc.flush()
+        # Two distinct fingerprints -> exactly two factorizations.
+        assert cache.stats.misses_by_kind.get("preconditioner") == 2
+        # A later flush with a known matrix is a pure cache hit.
+        svc.submit(a1, rng.standard_normal(a1.n_rows))
+        svc.flush()
+        assert cache.stats.misses_by_kind.get("preconditioner") == 2
+        assert cache.stats.hits_by_kind.get("preconditioner") == 1
+
+    def test_batch_trace_events_carry_batch_size(self, poisson16, make_rng):
+        rng = make_rng(52)
+        svc = SolverService(preconditioner="jacobi")
+        for _ in range(4):
+            svc.submit(poisson16, rng.standard_normal(poisson16.n_rows))
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            svc.flush()
+        starts = rec.events("batch_start")
+        ends = rec.events("batch_end")
+        assert len(starts) == len(ends) == 1
+        assert starts[0].payload["batch"] == 4
+        assert ends[0].payload["batch"] == 4
+        assert ends[0].payload["modeled_seconds_per_rhs"] > 0
+        assert ends[0].payload["converged"] == 4
+        assert starts[0].seq < ends[0].seq
+
+    def test_timeline_records_batched_kernels(self, poisson16, make_rng):
+        svc = SolverService(preconditioner="ilu0")
+        svc.submit(poisson16,
+                   make_rng(53).standard_normal(poisson16.n_rows))
+        report = svc.flush()
+        names = {e.name for e in report.timeline.events}
+        assert {"spmv_batched", "trisolve_fwd_batched",
+                "trisolve_bwd_batched", "dots_batched",
+                "axpys_batched"} <= names
+        g = report.groups[0]
+        assert report.timeline.total_seconds == \
+            pytest.approx(g.modeled_seconds)
+        assert report.modeled_seconds == pytest.approx(g.modeled_seconds)
+
+    def test_group_metrics(self, poisson16, make_rng):
+        svc = SolverService(preconditioner="jacobi")
+        rng = make_rng(54)
+        for _ in range(3):
+            svc.submit(poisson16, rng.standard_normal(poisson16.n_rows))
+        svc.flush()
+        m = get_metrics()
+        assert m.counter("pcg.batched_groups") == 1
+        assert m.counter("pcg.batched_rhs") == 3
+
+    def test_submit_validation(self, poisson16):
+        svc = SolverService()
+        with pytest.raises(ShapeError):
+            svc.submit(poisson16, np.ones(3))
+        with pytest.raises(ShapeError):
+            svc.submit(poisson16, np.ones((poisson16.n_rows, 2)))
+
+    def test_solve_convenience(self, poisson16, make_rng):
+        rng = make_rng(55)
+        reqs = [(poisson16, rng.standard_normal(poisson16.n_rows), f"t{i}")
+                for i in range(2)]
+        report = SolverService(preconditioner="jacobi").solve(reqs)
+        assert isinstance(report, BatchReport)
+        assert report.tags == ["t0", "t1"]
+        assert report.all_converged
+
+    def test_solve_accepts_request_objects(self, poisson16, make_rng):
+        rng = make_rng(56)
+        reqs = [SolveRequest(poisson16,
+                             rng.standard_normal(poisson16.n_rows),
+                             tag=f"r{i}")
+                for i in range(3)]
+        report = SolverService(preconditioner="jacobi").solve(reqs)
+        assert report.tags == ["r0", "r1", "r2"]
+        assert report.all_converged
+
+    def test_empty_flush(self):
+        report = SolverService().flush()
+        assert report.n_requests == 0
+        assert report.groups == []
+        assert report.all_converged  # vacuous
+
+
+class TestBatchScalingStudy:
+    def test_per_rhs_decreases_and_one_factorization(self, make_rng):
+        a = stencil_poisson_2d(12)
+        res = run_batch_scaling(a, name="poisson", batch_sizes=(1, 8),
+                                preconditioner="ilu0", seed=7)
+        assert res.factorizations == 1
+        p1, p8 = res.points
+        assert p1.batch == 1 and p8.batch == 8
+        assert p8.per_rhs_seconds < p1.per_rhs_seconds
+        assert p8.per_sweep_per_rhs_seconds < p1.per_sweep_per_rhs_seconds
+        assert res.per_rhs_speedup > 1.0
+        assert "per-RHS speedup" in res.summary_table()
+
+    def test_all_rungs_converge(self):
+        a = stencil_poisson_2d(10)
+        res = run_batch_scaling(a, batch_sizes=(1, 2, 4),
+                                preconditioner="jacobi", seed=0)
+        for p in res.points:
+            assert p.n_converged == p.batch
+
+    def test_validation(self, poisson16):
+        with pytest.raises(ValueError):
+            run_batch_scaling(poisson16, batch_sizes=())
+        with pytest.raises(ValueError):
+            run_batch_scaling(poisson16, batch_sizes=(0, 2))

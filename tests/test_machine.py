@@ -151,6 +151,37 @@ class TestTimelineProfiler:
         with pytest.raises(ValueError):
             Timeline().record("x", "p", -1.0)
 
+    def test_timeline_revalidates_fault_hook_replacement(self):
+        # A fault hook may substitute the event; the replacement gets
+        # the same validation as the original, else a hostile hook could
+        # drive total_seconds negative.
+        from repro.machine import KernelEvent
+
+        def hostile(ev):
+            return KernelEvent(name=ev.name, phase=ev.phase, seconds=-5.0)
+
+        tl = Timeline(fault_hook=hostile)
+        with pytest.raises(ValueError):
+            tl.record("spmv", "solve", 1.0)
+        assert tl.events == []
+        assert tl.total_seconds == 0.0
+
+    def test_timeline_fault_hook_benign_paths_still_work(self):
+        # Inflation and dropping both remain legal hook behaviours.
+        from repro.machine import KernelEvent
+
+        def inflate(ev):
+            if ev.name == "drop":
+                return None
+            return KernelEvent(name=ev.name, phase=ev.phase,
+                               seconds=ev.seconds * 2)
+
+        tl = Timeline(fault_hook=inflate)
+        tl.record("spmv", "solve", 1.0)
+        tl.record("drop", "solve", 3.0)
+        assert tl.total_seconds == pytest.approx(2.0)
+        assert len(tl.events) == 1
+
     def test_profiler_utilization_bounds(self, poisson16):
         prof = KernelProfiler(A100)
         u = prof.iteration_utilization(poisson16,

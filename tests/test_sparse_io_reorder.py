@@ -74,6 +74,73 @@ class TestMatrixMarket:
         b = read_matrix_market(gz)
         np.testing.assert_allclose(b.to_dense(), a.to_dense())
 
+    def test_blank_line_between_comments_and_size(self, tmp_path):
+        # The MM spec allows blank lines before the size line; the reader
+        # used to treat the first blank line as the size line and fail.
+        path = tmp_path / "blank.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n"
+                        "% a comment\n"
+                        "\n"
+                        "2 2 1\n1 2 7.0\n")
+        a = read_matrix_market(path)
+        assert a.get(0, 1) == 7.0
+
+    def test_blank_line_without_comments(self, tmp_path):
+        path = tmp_path / "blank2.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n"
+                        "\n\n"
+                        "1 1 1\n1 1 3.0\n")
+        a = read_matrix_market(path)
+        assert a.get(0, 0) == 3.0
+
+    def test_roundtrip_with_blank_line_after_comment(self, rng, tmp_path):
+        # Full write -> hand-edit -> read cycle: inserting a spec-valid
+        # blank line into a written file must not break reading it back.
+        a = random_csr(rng, 6, 6)
+        path = tmp_path / "rt.mtx"
+        write_matrix_market(path, a, comment="generated")
+        lines = path.read_text().splitlines(keepends=True)
+        lines.insert(2, "\n")  # after banner + comment, before size line
+        path.write_text("".join(lines))
+        b = read_matrix_market(path)
+        np.testing.assert_allclose(b.to_dense(), a.to_dense())
+
+    def test_eof_after_comments_raises(self, tmp_path):
+        # Blank-line skipping must not mask a truncated file.
+        path = tmp_path / "trunc.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n"
+                        "% only comments\n\n")
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(path)
+
+    def test_writer_batched_body_roundtrip_large(self, make_rng, tmp_path):
+        # Correctness bench for the batched (savetxt) writer body: a
+        # ~100k-nonzero matrix must round-trip exactly, including
+        # full-precision values.
+        rng = make_rng(7)
+        n, nnz = 2000, 100_000
+        rows = rng.integers(0, n, size=nnz)
+        cols = rng.integers(0, n, size=nnz)
+        dense = np.zeros((n, n))
+        dense[rows, cols] = rng.standard_normal(nnz)
+        a = CSRMatrix.from_dense(dense)
+        path = tmp_path / "big.mtx"
+        write_matrix_market(path, a)
+        b = read_matrix_market(path)
+        assert b.nnz == a.nnz
+        np.testing.assert_array_equal(b.indptr, a.indptr)
+        np.testing.assert_array_equal(b.indices, a.indices)
+        # %.17g serializes float64 losslessly.
+        np.testing.assert_array_equal(b.data, a.data)
+
+    def test_writer_empty_matrix(self, tmp_path):
+        a = CSRMatrix(np.zeros(4, dtype=np.int64),
+                      np.array([], dtype=int), np.array([]), (3, 3))
+        path = tmp_path / "empty.mtx"
+        write_matrix_market(path, a)
+        b = read_matrix_market(path)
+        assert b.nnz == 0 and b.shape == (3, 3)
+
     def test_missing_banner(self, tmp_path):
         path = tmp_path / "bad.mtx"
         path.write_text("not a matrix\n")

@@ -57,6 +57,34 @@ class TestSegmentSum:
         np.testing.assert_allclose(segment_sum(v, starts, ends), expect,
                                    atol=1e-12)
 
+    def test_2d_block_basic(self):
+        v = np.array([[1.0, 10.0], [2.0, 20.0], [3.0, 30.0], [4.0, 40.0]])
+        out = segment_sum(v, np.array([0, 2]), np.array([2, 4]))
+        np.testing.assert_allclose(out, [[3.0, 30.0], [7.0, 70.0]])
+
+    def test_2d_columns_bitwise_match_1d(self, make_rng):
+        # The batched triangular sweep's contract: each column of the
+        # block result equals the 1-D call on that column exactly.
+        rng = make_rng(2)
+        v = rng.standard_normal((150, 4))
+        bounds = np.sort(rng.integers(0, 150, size=13))
+        starts, ends = bounds[:-1], bounds[1:]
+        block = segment_sum(v, starts, ends)
+        for j in range(4):
+            np.testing.assert_array_equal(
+                block[:, j], segment_sum(v[:, j].copy(), starts, ends))
+
+    def test_2d_empty_segments_and_out(self):
+        v = np.ones((3, 2))
+        out = np.empty((2, 2))
+        res = segment_sum(v, np.array([0, 3]), np.array([3, 3]), out=out)
+        assert res is out
+        np.testing.assert_allclose(out, [[3.0, 3.0], [0.0, 0.0]])
+
+    def test_3d_rejected(self):
+        with pytest.raises(ShapeError):
+            segment_sum(np.ones((2, 2, 2)), np.array([0]), np.array([2]))
+
 
 class TestSegmentStartsToLengths:
     def test_roundtrip(self):
@@ -134,3 +162,24 @@ class TestHistogramFixed:
     def test_bad_params(self):
         with pytest.raises(ValueError):
             histogram_fixed(np.ones(3), 5.0, 0.0, 0.25)
+
+    def test_non_integral_width_covers_hi(self, make_rng):
+        # (hi - lo) / width non-integral: the last arange edge lands
+        # below hi, so values near hi used to fall outside every bin and
+        # the percentages summed short of 100.
+        rng = make_rng(6)
+        values = rng.random(500) * 5.0
+        # (5 - 0) / 0.8 = 6.25: arange's last edge is 4.8, leaving
+        # [4.8, 5.0] uncovered before the fix.
+        edges, percent = histogram_fixed(values, 0.0, 5.0, 0.8)
+        assert edges[-1] == pytest.approx(5.0)
+        assert percent.sum() == pytest.approx(100.0)
+
+    def test_non_integral_width_outlier_clamped_into_last_bin(self):
+        _, percent = histogram_fixed(np.array([4.9, 99.0]), 0.0, 5.0, 0.8)
+        assert percent.sum() == pytest.approx(100.0)
+        assert percent[-1] == pytest.approx(100.0)
+
+    def test_width_larger_than_range(self):
+        _, percent = histogram_fixed(np.array([0.5, 1.5]), 0.0, 2.0, 10.0)
+        assert percent.sum() == pytest.approx(100.0)

@@ -1,0 +1,78 @@
+"""Serving layer: continuous batching across slot capacities.
+
+Not a paper figure — this bench starts the serving perf trajectory.
+One fixed open-loop Poisson workload is served at slot capacities
+B ∈ {1, 4, 8}, with continuous (rolling-admission) batching and with
+the flush-style baseline at the same capacity, recording throughput,
+modeled p50/p99 latency and sweep-weighted mean batch occupancy.  The
+machine-readable summary lands in ``results/BENCH_serve.json`` so CI
+runs accumulate comparable serving numbers over time.
+"""
+
+import json
+
+from conftest import RESULTS_DIR, _scale, emit
+
+from repro.harness import render_table
+from repro.serve import BatchingWindow, LoadSpec, ServeScheduler, run_loadgen
+from repro.sparse import stencil_poisson_2d
+
+CAPACITIES = (1, 4, 8)
+SEED = 12345
+
+
+def _spec() -> LoadSpec:
+    n = 24 if _scale() == "tiny" else 48
+    return LoadSpec(n_requests=n, rate_rps=1500.0, seed=SEED)
+
+
+def _serve(matrices, *, max_batch, continuous):
+    sched = ServeScheduler(
+        preconditioner="ilu0",
+        window=BatchingWindow(max_wait_s=5e-4, max_batch=max_batch,
+                              continuous=continuous))
+    return run_loadgen(sched, matrices, _spec())
+
+
+def test_serve_capacity_sweep(benchmark):
+    side = 12 if _scale() == "tiny" else 16
+    matrices = [stencil_poisson_2d(side)]
+    rows, summary = [], {"seed": SEED, "n_requests": _spec().n_requests,
+                         "rate_rps": _spec().rate_rps, "capacities": {}}
+    for cap in CAPACITIES:
+        cont = _serve(matrices, max_batch=cap, continuous=True)
+        flush = _serve(matrices, max_batch=cap, continuous=False)
+        assert cont.n_completed == _spec().n_requests
+        entry = {}
+        for label, rep in (("continuous", cont), ("flush", flush)):
+            entry[label] = {
+                "throughput_rps": rep.throughput_rps,
+                "p50_modeled_s": rep.latency_percentile(50),
+                "p99_modeled_s": rep.latency_percentile(99),
+                "mean_occupancy": rep.mean_occupancy,
+            }
+        summary["capacities"][f"B={cap}"] = entry
+        rows.append([f"{cap}",
+                     f"{cont.throughput_rps:.0f}",
+                     f"{flush.throughput_rps:.0f}",
+                     f"{1e3 * cont.latency_percentile(50):.2f}",
+                     f"{1e3 * cont.latency_percentile(99):.2f}",
+                     f"{1e3 * flush.latency_percentile(99):.2f}",
+                     f"{cont.mean_occupancy:.3f}",
+                     f"{flush.mean_occupancy:.3f}"])
+        # Beyond one slot, rolling admission must not lose to
+        # flush-style batching at the same capacity.
+        if cap > 1:
+            assert cont.latency_percentile(99) <= \
+                flush.latency_percentile(99)
+
+    benchmark(lambda: _serve(matrices, max_batch=4, continuous=True))
+
+    table = render_table(
+        ["B", "thrpt cont", "thrpt flush", "p50 cont (ms)",
+         "p99 cont (ms)", "p99 flush (ms)", "occ cont", "occ flush"],
+        rows, title="Serving — continuous vs flush batching across slot "
+                    "capacities (open-loop Poisson, modeled clock)")
+    emit("serve_capacity.txt", table)
+    (RESULTS_DIR / "BENCH_serve.json").write_text(
+        json.dumps(summary, indent=2) + "\n", encoding="utf-8")

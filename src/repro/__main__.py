@@ -14,6 +14,11 @@ Commands
     Batch-scaling study: dispatch grouped multi-RHS requests through
     the :class:`~repro.batch.SolverService` and report modeled per-RHS
     cost versus batch size.
+``serve``
+    Online serving study: generate an open- or closed-loop workload
+    against the :class:`~repro.serve.ServeScheduler` (continuous
+    batching, admission control, deadlines) and print the SLO table —
+    throughput, goodput, occupancy, latency percentiles.
 ``datasets``
     List the registry (name, category, order, nnz on demand).
 ``devices``
@@ -161,6 +166,46 @@ def _cmd_batch(args) -> int:
     return 0 if n_conv == n_req else 1
 
 
+def _cmd_serve(args) -> int:
+    import json
+
+    from .serve import (AdmissionPolicy, BatchingWindow, LoadSpec,
+                        ServeScheduler, run_loadgen)
+    from .sparse import stencil_poisson_2d
+
+    if args.matrix:
+        from .datasets import load
+
+        matrices = [load(name) for name in args.matrix]
+    else:
+        matrices = [stencil_poisson_2d(side) for side in args.sides]
+    policy = AdmissionPolicy(
+        max_depth=args.max_depth or None,
+        max_backlog_s=args.max_backlog or None)
+    window = BatchingWindow(max_wait_s=args.max_wait,
+                            max_batch=args.max_batch or None,
+                            continuous=not args.no_continuous)
+    spec = LoadSpec(n_requests=args.requests, rate_rps=args.rate,
+                    mode=args.mode, concurrency=args.concurrency,
+                    think_s=args.think,
+                    deadline_s=args.deadline or None, seed=args.seed)
+    with _tracing(args.trace):
+        sched = ServeScheduler(preconditioner=args.precond, k=args.k,
+                               device=args.device, policy=policy,
+                               window=window)
+        report = run_loadgen(sched, matrices, spec)
+    print(f"mode={spec.mode} requests={spec.n_requests} "
+          f"rate={spec.rate_rps:g}/s window=(wait {window.max_wait_s:g}s, "
+          f"batch {window.max_batch or 'inf'}, "
+          f"continuous={window.continuous})")
+    print(report.slo_table())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.as_dict(), fh, indent=2)
+        print(f"summary -> {args.json}", file=sys.stderr)
+    return 0 if report.n_completed else 1
+
+
 def _cmd_report(args) -> int:
     from .obs import render_report_file
 
@@ -259,6 +304,50 @@ def main(argv: list[str] | None = None) -> int:
                    help="record the structured event trace to this "
                         "JSON-lines file (render with `repro report`)")
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser("serve", help="online serving study with "
+                                     "continuous batching and SLOs")
+    p.add_argument("--matrix", nargs="+", default=[],
+                   help="registry matrix name(s) (see `repro datasets`)")
+    p.add_argument("--sides", type=int, nargs="+", default=[16, 24],
+                   help="grid sides of 2-D Poisson stand-ins (used when "
+                        "no --matrix is given)")
+    p.add_argument("--requests", type=int, default=48)
+    p.add_argument("--rate", type=float, default=500.0,
+                   help="open-loop Poisson arrival rate "
+                        "[requests / modeled second]")
+    p.add_argument("--mode", default="open", choices=["open", "closed"])
+    p.add_argument("--concurrency", type=int, default=4,
+                   help="closed-loop client count")
+    p.add_argument("--think", type=float, default=0.0,
+                   help="closed-loop think time [modeled s]")
+    p.add_argument("--deadline", type=float, default=0.0,
+                   help="relative per-request deadline [modeled s]; "
+                        "0 = none")
+    p.add_argument("--max-batch", type=int, default=8, dest="max_batch",
+                   help="batching-window slot capacity; 0 = unbounded")
+    p.add_argument("--max-wait", type=float, default=1e-3,
+                   dest="max_wait",
+                   help="batching-window max wait [modeled s]")
+    p.add_argument("--max-depth", type=int, default=0, dest="max_depth",
+                   help="admission: queue depth cap; 0 = unbounded")
+    p.add_argument("--max-backlog", type=float, default=0.0,
+                   dest="max_backlog",
+                   help="admission: modeled backlog cap [s]; 0 = none")
+    p.add_argument("--no-continuous", action="store_true",
+                   help="disable mid-block slot admission "
+                        "(flush-style batching baseline)")
+    p.add_argument("--precond", default="ilu0",
+                   choices=["ilu0", "iluk", "ic0", "jacobi"])
+    p.add_argument("--k", type=int, default=1)
+    p.add_argument("--device", default="a100")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", default="", metavar="OUT.JSON",
+                   help="write the SLO summary as JSON")
+    p.add_argument("--trace", default="", metavar="OUT.JSONL",
+                   help="record the structured event trace to this "
+                        "JSON-lines file (render with `repro report`)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("report", help="render the run ledger from a "
                                       "--trace JSON-lines file")

@@ -9,11 +9,13 @@ scalars, per-column convergence, frozen columns never recomputed);
 fingerprint-grouped batched dispatches that reuse cached factorizations.
 """
 
-from .block import BlockSolveResult, pcg_block
+from .block import BlockSolveResult, SlotDecision, SlotHook, pcg_block
 from .service import BatchReport, GroupReport, SolveRequest, SolverService
 
 __all__ = [
     "BlockSolveResult",
+    "SlotDecision",
+    "SlotHook",
     "pcg_block",
     "SolveRequest",
     "GroupReport",

@@ -22,12 +22,25 @@ The result therefore decomposes into per-column
 :class:`~repro.solvers.result.SolveResult` records matching a
 sequential ``pcg`` loop (bitwise, up to the reduction kernels; within
 1e-10 in the property tests).
+
+Continuous batching
+-------------------
+A *slot hook* (:data:`SlotHook`) turns the static block into a rolling
+one: at every iteration boundary the hook may **admit** new right-hand
+sides into slots freed by retired columns and **cancel** running
+columns (deadline expiry, caller cancellation).  An admitted column
+starts its own iteration 0 at that boundary — zero initial guess, its
+own residual history, its own stopping threshold — so its trajectory is
+the one a fresh sequential solve would take; resident columns are never
+recomputed or perturbed (their per-column scalars and reductions do not
+see the newcomer).  :mod:`repro.serve` builds its online scheduler on
+this hook.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -39,7 +52,43 @@ from ..solvers.result import SolveResult, TerminationReason
 from ..solvers.stopping import StoppingCriterion
 from ..sparse.csr import CSRMatrix
 
-__all__ = ["BlockSolveResult", "pcg_block"]
+__all__ = ["BlockSolveResult", "SlotDecision", "SlotHook", "pcg_block"]
+
+
+@dataclass
+class SlotDecision:
+    """What a slot hook wants done at one iteration boundary.
+
+    Attributes
+    ----------
+    admit:
+        ``(key, b)`` pairs to admit as new columns (zero initial guess).
+        *key* is the caller's opaque handle (a request id); it comes
+        back in ``extra["serve"]["keys"]``.
+    cancel:
+        ``(key, reason)`` pairs; each matching **active** column is
+        frozen at the boundary with that termination reason and the
+        iterate it has already earned.  Keys that are unknown or already
+        retired are ignored — cancelling a completed column is a no-op
+        by construction.
+    """
+
+    admit: Sequence[tuple[object, np.ndarray]] = ()
+    cancel: Sequence[tuple[object, TerminationReason]] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.admit) or bool(self.cancel)
+
+
+#: Called as ``hook(sweep, active_keys)`` at the boundary *before*
+#: sweep ``sweep`` runs (1-based).  ``active_keys`` is the tuple of
+#: keys of live columns before the decision is applied, so the caller
+#: always knows exactly which of its requests still occupy slots; the
+#: hook owns any notion of time (the serving scheduler advances its
+#: modeled clock here).  Returning ``None`` means "no changes".  When
+#: the working set is empty and the hook admits nothing, the block
+#: ends.
+SlotHook = Callable[[int, "tuple[object, ...]"], "SlotDecision | None"]
 
 
 @dataclass
@@ -138,7 +187,9 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
               preconditioner: Preconditioner | None = None, *,
               x0: np.ndarray | None = None,
               criterion: StoppingCriterion | None = None,
-              callback: Callable[[int, np.ndarray], None] | None = None
+              callback: Callable[[int, np.ndarray], None] | None = None,
+              slot_hook: SlotHook | None = None,
+              keys: Sequence[object] | None = None
               ) -> BlockSolveResult:
     """Left-preconditioned CG over an ``(n, B)`` block of right-hand sides.
 
@@ -161,9 +212,22 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
     callback:
         Invoked as ``callback(k, r_norms)`` after each convergence
         check, where *r_norms* is the ``(B,)`` array of latest residual
-        norms (frozen columns keep their final value).  May raise
+        norms (frozen columns keep their final value; under a slot hook
+        the array grows as columns are admitted).  May raise
         :class:`repro.errors.AbortSolve` to stop the whole block; still-
         active columns then terminate with ``GUARD_TRIPPED``.
+    slot_hook:
+        Continuous-batching hook (see :data:`SlotHook`), consulted at
+        every iteration boundary.  Admitted columns start at their own
+        iteration 0 with a zero initial guess; each column's iteration
+        budget (``criterion.max_iters``) is counted from its own
+        admission, so the block may run more global sweeps than any
+        single column's budget.
+    keys:
+        Caller handles for the initial columns (defaults to
+        ``0..B-1``).  Only meaningful together with *slot_hook*; the
+        final per-column keys, admission sweeps and retirement sweeps
+        are returned in ``extra["serve"]``.
 
     Returns
     -------
@@ -200,25 +264,42 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
     b_norms = _col_norms(b_block)
     thresholds = np.array([crit.threshold(bn) for bn in b_norms])
 
-    # Per-column terminal state, filled in as columns retire.
+    # Per-column terminal state, filled in as columns retire.  Under a
+    # slot hook these arrays *grow* as columns are admitted; ``born``
+    # and ``died`` hold each column's admission and retirement sweep
+    # (global, 1-based; 0 = before the first sweep) for the serving
+    # scheduler's modeled-latency accounting.
     reasons: list[TerminationReason] = \
         [TerminationReason.MAX_ITERATIONS] * nb
     conv = np.zeros(nb, dtype=bool)
     iters = np.zeros(nb, dtype=np.int64)
     histories: list[list[float]] = [[] for _ in range(nb)]
     last_norms = np.full(nb, np.nan)
+    born = np.zeros(nb, dtype=np.int64)
+    died = np.zeros(nb, dtype=np.int64)
+    col_keys: list[object] = (list(keys) if keys is not None
+                              else list(range(nb)))
+    if len(col_keys) != nb:
+        raise ShapeError(f"keys must have length {nb}, "
+                         f"got {len(col_keys)}")
+    key_to_col = {key: j for j, key in enumerate(col_keys)}
+    widths: list[int] = []
     extra: dict = {}
 
     def assemble() -> BlockSolveResult:
+        if slot_hook is not None or keys is not None:
+            extra["serve"] = {"keys": list(col_keys), "born": born.copy(),
+                              "died": died.copy(),
+                              "widths": list(widths)}
         res = BlockSolveResult(
             x=x, converged=conv, n_iters=iters,
             residual_norms=[np.asarray(h) for h in histories],
             reasons=reasons, tolerances=thresholds, extra=extra)
         metrics = get_metrics()
         metrics.inc("pcg.batched_solves")
-        metrics.inc("pcg.batched_rhs", nb)
+        metrics.inc("pcg.batched_rhs", len(reasons))
         metrics.inc("pcg.batched_sweeps", res.block_iters)
-        for j in range(nb):
+        for j in range(len(reasons)):
             if not conv[j]:
                 metrics.inc(f"pcg.batched_terminations.{reasons[j].value}")
         return res
@@ -245,36 +326,154 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
     idx = np.arange(nb)
 
     def retire(mask: np.ndarray, xa: np.ndarray, reason: TerminationReason,
-               k_done: int, converged: bool = False) -> np.ndarray:
-        """Freeze columns where *mask*; returns the keep-mask."""
+               k_done: int, converged: bool = False,
+               died_at: int | None = None) -> np.ndarray:
+        """Freeze columns where *mask*; returns the keep-mask.
+
+        ``k_done`` is the *global* sweep whose state the column keeps —
+        its recorded iteration count is ``k_done - born`` so columns
+        admitted mid-block report their own local count.  ``died_at``
+        (default ``k_done``) is the global sweep the column last
+        occupied a slot in, for the scheduler's width accounting.
+        """
+        d = k_done if died_at is None else died_at
         for t in np.flatnonzero(mask):
             j = int(idx[t])
             x[:, j] = xa[:, t]
             reasons[j] = reason
-            iters[j] = k_done
+            iters[j] = k_done - born[j]
             conv[j] = converged
+            died[j] = d
         return ~mask
+
+    def cancel_columns(cancels, k, xa, ra, pa, rz, idx):
+        """Freeze the *active* columns named in ``cancels`` at boundary
+        ``k`` (before sweep ``k`` runs); unknown or already-retired keys
+        are ignored — cancelling a completed column is a no-op."""
+        drop = np.zeros(idx.size, dtype=bool)
+        for key, reason in cancels:
+            j = key_to_col.get(key)
+            if j is None:
+                continue
+            pos = np.flatnonzero(idx == j)
+            if pos.size == 0:
+                continue
+            t = int(pos[0])
+            drop[t] = True
+            x[:, j] = xa[:, t]
+            reasons[j] = reason
+            iters[j] = (k - 1) - born[j]
+            conv[j] = False
+            died[j] = k - 1
+        if drop.any():
+            keep = ~drop
+            xa, ra, pa, rz, idx = (xa[:, keep], ra[:, keep], pa[:, keep],
+                                   rz[keep], idx[keep])
+        return xa, ra, pa, rz, idx
+
+    def admit_columns(admits, k, xa, ra, pa, rz, idx):
+        """Start new columns at their own iteration 0 (zero initial
+        guess) at boundary ``k`` — the continuous-batching join point.
+        Mirrors the pre-loop setup exactly: residual = b, immediate
+        convergence check, preconditioner application, breakdown check,
+        first search direction."""
+        nonlocal x, conv, iters, born, died, last_norms, b_norms, thresholds
+        cols: list[int] = []
+        vecs: list[np.ndarray] = []
+        for key, b_new in admits:
+            b_new = np.asarray(b_new, dtype=dtype)
+            if b_new.shape != (n,):
+                raise ShapeError(f"admitted b must have shape ({n},), "
+                                 f"got {b_new.shape}")
+            j = len(reasons)
+            reasons.append(TerminationReason.MAX_ITERATIONS)
+            col_keys.append(key)
+            key_to_col[key] = j
+            bn = float(np.linalg.norm(b_new))
+            b_norms = np.append(b_norms, bn)
+            thresholds = np.append(thresholds, crit.threshold(bn))
+            conv = np.append(conv, False)
+            iters = np.append(iters, 0)
+            born = np.append(born, k - 1)
+            died = np.append(died, k - 1)
+            histories.append([bn])
+            last_norms = np.append(last_norms, bn)
+            x = np.concatenate([x, np.zeros((n, 1), dtype=dtype)], axis=1)
+            if crit.is_met(bn, bn):
+                reasons[j] = TerminationReason.CONVERGED
+                conv[j] = True
+                continue
+            cols.append(j)
+            vecs.append(b_new)
+        if not cols:
+            return xa, ra, pa, rz, idx
+        rn = np.stack(vecs, axis=1)
+        zn = m.apply(rn)
+        rzn = _col_dots(rn, zn)
+        bad = (rzn == 0.0) | ~np.isfinite(rzn)
+        good: list[int] = []
+        for t, j in enumerate(cols):
+            if bad[t]:
+                reasons[j] = TerminationReason.NUMERICAL_BREAKDOWN
+            else:
+                good.append(t)
+        if good:
+            g = np.asarray(good)
+            new_cols = np.asarray(cols, dtype=idx.dtype)[g]
+            idx = np.concatenate([idx, new_cols])
+            xa = np.concatenate(
+                [xa, np.zeros((n, g.size), dtype=dtype)], axis=1)
+            ra = np.concatenate([ra, rn[:, g]], axis=1)
+            pa = np.concatenate(
+                [pa, zn[:, g].astype(dtype, copy=True)], axis=1)
+            rz = np.concatenate([rz, rzn[g]])
+        return xa, ra, pa, rz, idx
 
     met0 = np.array([crit.is_met(float(r0[j]), float(b_norms[j]))
                      for j in range(nb)])
     keep = retire(met0, x, TerminationReason.CONVERGED, 0, converged=True)
     idx = idx[keep]
-    if idx.size == 0:
+    if idx.size == 0 and slot_hook is None:
         return assemble()
 
-    xa = x[:, idx].copy()
-    ra = r[:, idx].copy()
-    za = m.apply(ra)
-    rz = _col_dots(ra, za)
-    bad = (rz == 0.0) | ~np.isfinite(rz)
-    keep = retire(bad, xa, TerminationReason.NUMERICAL_BREAKDOWN, 0)
-    idx, xa, ra, za, rz = (idx[keep], xa[:, keep], ra[:, keep],
-                           za[:, keep], rz[keep])
-    pa = za.astype(dtype, copy=True)
+    if idx.size:
+        xa = x[:, idx].copy()
+        ra = r[:, idx].copy()
+        za = m.apply(ra)
+        rz = _col_dots(ra, za)
+        bad = (rz == 0.0) | ~np.isfinite(rz)
+        keep = retire(bad, xa, TerminationReason.NUMERICAL_BREAKDOWN, 0)
+        idx, xa, ra, za, rz = (idx[keep], xa[:, keep], ra[:, keep],
+                               za[:, keep], rz[keep])
+        pa = za.astype(dtype, copy=True)
+    else:
+        # Every submitted column converged at iteration 0 but a slot
+        # hook may still have work: enter the loop with an empty set.
+        xa = np.zeros((n, 0), dtype=dtype)
+        ra = np.zeros((n, 0), dtype=dtype)
+        pa = np.zeros((n, 0), dtype=dtype)
+        rz = np.zeros(0)
 
-    for k in range(1, crit.max_iters + 1):
+    k = 0
+    while True:
+        k += 1
+        # ---- iteration boundary k (before sweep k runs) --------------
+        if slot_hook is not None:
+            decision = slot_hook(
+                k, tuple(col_keys[int(j)] for j in idx))
+            if decision is not None:
+                if decision.cancel:
+                    xa, ra, pa, rz, idx = cancel_columns(
+                        decision.cancel, k, xa, ra, pa, rz, idx)
+                if decision.admit:
+                    xa, ra, pa, rz, idx = admit_columns(
+                        decision.admit, k, xa, ra, pa, rz, idx)
         if idx.size == 0:
             break
+        # Entering width of sweep k — a column that retires mid-sweep
+        # still occupied its slot for the whole sweep, so this is the
+        # batch size the scheduler prices the sweep at.
+        widths.append(int(idx.size))
         wa = a.matmat(pa)
         pw = _col_dots(pa, wa)
         # Curvature checks freeze a column *before* the update (its
@@ -283,13 +482,14 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
         indef = np.isfinite(pw) & (pw <= 0.0)
         if bad.any() or indef.any():
             keep = retire(bad, xa, TerminationReason.NUMERICAL_BREAKDOWN,
-                          k - 1)
-            keep &= retire(indef, xa, TerminationReason.INDEFINITE, k - 1)
+                          k - 1, died_at=k)
+            keep &= retire(indef, xa, TerminationReason.INDEFINITE, k - 1,
+                           died_at=k)
             idx, xa, ra, pa, wa, rz, pw = (
                 idx[keep], xa[:, keep], ra[:, keep], pa[:, keep],
                 wa[:, keep], rz[keep], pw[keep])
             if idx.size == 0:
-                break
+                continue
         alpha = rz / pw
         xa += alpha * pa
         ra -= alpha * wa
@@ -318,7 +518,7 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
             idx, xa, ra, pa, rz = (idx[keep], xa[:, keep], ra[:, keep],
                                    pa[:, keep], rz[keep])
             if idx.size == 0:
-                break
+                continue
         za = m.apply(ra)
         rz_new = _col_dots(ra, za)
         bad = (rz_new == 0.0) | ~np.isfinite(rz_new)
@@ -328,12 +528,18 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
                 idx[keep], xa[:, keep], ra[:, keep], pa[:, keep],
                 za[:, keep], rz[keep], rz_new[keep])
             if idx.size == 0:
-                break
+                continue
         beta = rz_new / rz
         rz = rz_new
         pa = za + beta * pa
+        # Per-column budget: a column admitted at sweep s exhausts its
+        # own ``max_iters`` at global sweep ``s + max_iters`` — the
+        # uniform-born case reproduces the classic loop bound exactly.
+        exhausted = (k - born[idx]) >= crit.max_iters
+        if exhausted.any():
+            keep = retire(exhausted, xa,
+                          TerminationReason.MAX_ITERATIONS, k)
+            idx, xa, ra, pa, rz = (idx[keep], xa[:, keep], ra[:, keep],
+                                   pa[:, keep], rz[keep])
 
-    # Columns still live after the loop exhausted the budget.
-    retire(np.ones(idx.size, dtype=bool), xa,
-           TerminationReason.MAX_ITERATIONS, crit.max_iters)
     return assemble()

@@ -20,28 +20,33 @@ matrices.  :class:`SolverService` exploits that shape twice:
 Every flush emits ``batch_start``/``batch_end`` trace events carrying
 the batch size and records the modeled batched kernels on a
 :class:`~repro.machine.timeline.Timeline`.
+
+Since the serving layer landed, :meth:`SolverService.flush` is a thin
+wrapper over :class:`repro.serve.ServeScheduler` with the *degenerate*
+batching window (zero wait, unbounded batch): every fingerprint group
+dispatches immediately and whole, which reproduces the original flush
+semantics exactly — same grouping, same column order, bitwise-equal
+numerics — while the online path (deadlines, admission control,
+continuous batching) shares one dispatch implementation.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.spcg import make_preconditioner
-from ..errors import ShapeError
 from ..machine.device import A100, DeviceModel, get_device
 from ..machine.kernels import iteration_cost_batched
 from ..machine.timeline import Timeline
 from ..obs.metrics import get_metrics
-from ..obs.trace import get_recorder
 from ..perf.cache import ArtifactCache
 from ..perf.fingerprint import matrix_fingerprint
+from ..serve.request import validate_rhs
 from ..solvers.result import SolveResult
 from ..solvers.stopping import StoppingCriterion
 from ..sparse.csr import CSRMatrix
-from .block import BlockSolveResult, pcg_block
+from .block import BlockSolveResult
 
 __all__ = ["SolveRequest", "GroupReport", "BatchReport", "SolverService"]
 
@@ -160,14 +165,12 @@ class SolverService:
         """Queue one request; returns its submission index.
 
         Validation happens here (not at flush) so a malformed request
-        fails at the call site that produced it.
+        fails at the call site that produced it:
+        :class:`~repro.errors.ShapeError` for a bad shape,
+        :class:`~repro.errors.InvalidRequestError` (naming *tag*) for a
+        non-numeric dtype or NaN/Inf entries.
         """
-        if a.shape[0] != a.shape[1]:
-            raise ShapeError("SolverService requires square matrices")
-        b = np.asarray(b)
-        if b.ndim != 1 or b.shape[0] != a.n_rows:
-            raise ShapeError(f"b must have shape ({a.n_rows},), "
-                             f"got {b.shape}")
+        b = validate_rhs(a, b, tag=tag)
         self._pending.append(SolveRequest(a=a, b=b, tag=tag))
         self._fingerprints.append(matrix_fingerprint(a))
         return len(self._pending) - 1
@@ -187,35 +190,53 @@ class SolverService:
 
     # ------------------------------------------------------------------
     def flush(self) -> BatchReport:
-        """Group the pending queue by fingerprint and solve each group
-        as one batched block; returns per-request results in submission
-        order and clears the queue."""
-        pending, fps = self._pending, self._fingerprints
+        """Dispatch the pending queue through the serving scheduler's
+        degenerate batching window (zero wait, unbounded batch) and
+        return per-request results in submission order.
+
+        The scheduler groups by fingerprint and dispatches each group
+        as one :func:`~repro.batch.block.pcg_block` — identical
+        grouping, column order and numerics as the original one-shot
+        flush.  The legacy :class:`GroupReport`/:class:`BatchReport`
+        pricing (the *static* full-batch iteration cost times the
+        block's sweep count) is recomputed here so downstream
+        consumers keep their invariants; the scheduler's own trace
+        events additionally carry the occupancy-aware pricing.
+        """
+        # Imported here, not at module top: repro.serve builds on
+        # repro.batch (the scheduler drives pcg_block), so the service
+        # reaches back up lazily to keep the layering acyclic.
+        from ..serve.scheduler import BatchingWindow, ServeScheduler
+
+        pending = self._pending
         self._pending, self._fingerprints = [], []
 
-        groups: dict[str, list[int]] = {}
-        for i, fp in enumerate(fps):
-            groups.setdefault(fp, []).append(i)
+        sched = ServeScheduler(
+            preconditioner=self.kind, k=self.k, criterion=self.criterion,
+            device=self.device, cache=self.cache,
+            window=BatchingWindow.degenerate())
+        ids = [sched.submit(req.a, req.b, tag=req.tag) for req in pending]
+        sched.run()
 
-        results: list[SolveResult | None] = [None] * len(pending)
+        results: list[SolveResult] = []
+        for i in ids:
+            out = sched.outcome(i)
+            assert out is not None and out.result is not None
+            results.append(out.result)
+
+        fp_matrix: dict[str, CSRMatrix] = {}
+        for req, i in zip(pending, ids):
+            fp_matrix.setdefault(sched.outcome(i).fingerprint, req.a)
+
         reports: list[GroupReport] = []
         timeline = Timeline()
-        rec = get_recorder()
         metrics = get_metrics()
-
-        for fp, members in groups.items():
-            a = pending[members[0]].a
-            b_block = np.column_stack([pending[i].b for i in members])
-            nb = len(members)
-            if rec.enabled:
-                rec.emit("batch_start", fingerprint=fp, batch=nb,
-                         n=a.n_rows, nnz=a.nnz, preconditioner=self.kind)
-            t0 = time.perf_counter()
-            m = make_preconditioner(a, self.kind, k=self.k,
-                                    cache=self.cache)
-            block = pcg_block(a, b_block, m, criterion=self.criterion)
-
-            cost = iteration_cost_batched(self.device, a, m, batch=nb)
+        for d in sched.report().dispatches:
+            a = fp_matrix[d.fingerprint]
+            nb = d.n_served
+            cost = iteration_cost_batched(self.device, a,
+                                          d.preconditioner, batch=nb)
+            block: BlockSolveResult = d.block
             sweeps = block.block_iters
             for name, t in (("spmv_batched", cost.spmv),
                             ("trisolve_fwd_batched", cost.precond_fwd),
@@ -224,24 +245,14 @@ class SolverService:
                             ("axpys_batched", cost.axpys)):
                 timeline.record(name, "batched_solve", t * sweeps)
             seconds = cost.total * sweeps
-            per_rhs = seconds / nb
-            n_conv = int(block.converged.sum())
-
-            for t, i in enumerate(members):
-                results[i] = block.column(t)
             reports.append(GroupReport(
-                fingerprint=fp, batch=nb, block_iters=sweeps,
-                n_converged=n_conv, modeled_seconds=seconds,
-                modeled_seconds_per_rhs=per_rhs, block=block))
-            metrics.inc("pcg.batched_groups")
-            metrics.observe_phase("batched_solve",
-                                  time.perf_counter() - t0, seconds)
-            if rec.enabled:
-                rec.emit("batch_end", fingerprint=fp, batch=nb,
-                         block_iters=sweeps, converged=n_conv,
-                         modeled_seconds=seconds,
-                         modeled_seconds_per_rhs=per_rhs)
+                fingerprint=d.fingerprint, batch=nb, block_iters=sweeps,
+                n_converged=int(block.converged.sum()),
+                modeled_seconds=seconds,
+                modeled_seconds_per_rhs=seconds / nb, block=block))
+            metrics.observe_phase("batched_solve", d.wall_seconds,
+                                  seconds)
 
-        return BatchReport(results=[r for r in results if r is not None],
+        return BatchReport(results=results,
                            tags=[req.tag for req in pending],
                            groups=reports, timeline=timeline)

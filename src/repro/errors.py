@@ -21,6 +21,8 @@ __all__ = [
     "DeviceModelError",
     "FillLimitExceeded",
     "InvalidCriterionError",
+    "InvalidRequestError",
+    "QueueFullError",
     "AbortSolve",
     "SuiteWorkerError",
 ]
@@ -89,6 +91,35 @@ class DeviceModelError(ReproError, ValueError):
 class InvalidCriterionError(ReproError, ValueError):
     """A stopping criterion was constructed with invalid parameters
     (non-positive iteration cap, negative or non-finite tolerances)."""
+
+
+class InvalidRequestError(ReproError, ValueError):
+    """A solve request carries an unusable right-hand side.
+
+    Raised at *submission* time (``SolverService.submit`` /
+    ``ServeScheduler.submit``) when ``b`` has a non-numeric dtype or
+    contains NaN/Inf entries, so a malformed request fails at the call
+    site that produced it — naming the offending ``tag`` — instead of
+    surfacing mid-flush deep inside a batched block solve.
+    """
+
+
+class QueueFullError(ReproError, RuntimeError):
+    """The serving queue rejected a request (backpressure).
+
+    Raised by :meth:`repro.serve.RequestQueue.push` when the queue's
+    admission policy would shed the request — depth at ``max_depth`` or
+    modeled backlog past ``max_backlog_s``.  ``reason`` carries the
+    admission predicate that failed (``"queue_depth"`` /
+    ``"backlog_seconds"``) so callers can distinguish the two forms of
+    overload.
+    """
+
+    def __init__(self, reason: str, message: str | None = None):
+        self.reason = str(reason)
+        super().__init__(message
+                         or f"request rejected by admission control "
+                            f"({reason})")
 
 
 class AbortSolve(ReproError, RuntimeError):

@@ -24,6 +24,7 @@ observations of Section 5.3.
 from .device import DeviceModel, A100, V100, EPYC_7413, get_device
 from .kernels import (
     IterationCost,
+    estimate_request_seconds,
     iteration_cost,
     iteration_cost_batched,
     time_dot,
@@ -48,6 +49,7 @@ __all__ = [
     "EPYC_7413",
     "get_device",
     "IterationCost",
+    "estimate_request_seconds",
     "iteration_cost",
     "iteration_cost_batched",
     "time_dot",

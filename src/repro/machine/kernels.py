@@ -31,6 +31,7 @@ __all__ = [
     "IterationCost",
     "iteration_cost",
     "iteration_cost_batched",
+    "estimate_request_seconds",
 ]
 
 
@@ -374,3 +375,24 @@ def iteration_cost_batched(dev: DeviceModel, a: CSRMatrix,
     axpys = 3.0 * time_axpy_batched(dev, n, batch)
     return IterationCost(spmv=spmv, precond_fwd=t_fwd, precond_bwd=t_bwd,
                          dots=dots, axpys=axpys)
+
+
+def estimate_request_seconds(dev: DeviceModel, a: CSRMatrix,
+                             preconditioner: Preconditioner, *,
+                             iters: float, batch: int = 1) -> float:
+    """Modeled per-request solve seconds — the serving backlog price.
+
+    ``iters`` sweeps of the batched iteration cost, amortized over
+    ``batch`` columns.  The admission controller of
+    :class:`repro.serve.RequestQueue` sums this over queued requests to
+    model backlog-seconds: a queue of cheap Jacobi solves and a queue of
+    deep-wavefront ILU solves of equal *depth* represent very different
+    waits, and shedding decisions must see the difference.  ``batch=1``
+    is the conservative default (a queued request may end up dispatched
+    alone).
+    """
+    if iters < 0:
+        raise ValueError(f"iters must be non-negative, got {iters}")
+    batch = _check_batch(batch)
+    cost = iteration_cost_batched(dev, a, preconditioner, batch)
+    return cost.total * float(iters) / batch

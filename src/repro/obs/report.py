@@ -12,6 +12,10 @@ summary).  The ledger has four sections:
   traces that carry no experiment events);
 * **cache** — hit/miss/rate per artifact kind from the
   ``cache_hit``/``cache_miss`` stream;
+* **serving** — queue traffic (enqueues, sheds by reason, cancels),
+  dispatch count, mid-block admissions and sweep-weighted mean batch
+  occupancy from the ``queue_*``/``admit``/``shed``/``batch_end``
+  stream;
 * **failures** — taxonomy over failed experiment variants and fallback
   attempts, plus guard-trip and fallback-recovery counts.
 """
@@ -47,6 +51,10 @@ def summarize_trace(events: Sequence[TraceEvent]) -> dict:
     guard_trips = 0
     fallback_attempts = 0
     suite_meta: dict = {}
+    serving = {"enqueued": 0, "shed": {}, "queue_cancels": 0,
+               "admits": 0, "mid_block_admits": 0, "dispatches": 0,
+               "served_rhs": 0, "modeled_seconds": 0.0}
+    occ_num = occ_den = 0.0
 
     for ev in events:
         p = ev.payload
@@ -80,10 +88,34 @@ def summarize_trace(events: Sequence[TraceEvent]) -> dict:
             suite_meta.update(p)
         elif ev.kind == "suite_end":
             suite_meta.update(p)
+        elif ev.kind == "queue_enqueue":
+            serving["enqueued"] += 1
+        elif ev.kind == "queue_cancel":
+            serving["queue_cancels"] += 1
+            reason = p.get("reason", "?")
+            serving["shed"][reason] = serving["shed"].get(reason, 0) + 1
+        elif ev.kind == "shed":
+            reason = p.get("reason", "?")
+            serving["shed"][reason] = serving["shed"].get(reason, 0) + 1
+        elif ev.kind == "admit":
+            serving["admits"] += 1
+            if p.get("mid_block"):
+                serving["mid_block_admits"] += 1
+        elif ev.kind == "batch_end":
+            serving["dispatches"] += 1
+            serving["served_rhs"] += int(p.get("batch", 0))
+            serving["modeled_seconds"] += float(p.get("modeled_seconds",
+                                                      0.0))
+            if "occupancy" in p:
+                sweeps = float(p.get("sweeps", 0))
+                occ_num += float(p["occupancy"]) * sweeps
+                occ_den += sweeps
 
     for slot in cache.values():
         n = slot["hits"] + slot["misses"]
         slot["hit_rate"] = slot["hits"] / n if n else 0.0
+    serving["mean_occupancy"] = (occ_num / occ_den if occ_den
+                                 else float("nan"))
 
     return {
         "n_events": len(events),
@@ -91,6 +123,7 @@ def summarize_trace(events: Sequence[TraceEvent]) -> dict:
         "experiments": experiments,
         "solves": solves,
         "cache": cache,
+        "serving": serving,
         "failure_taxonomy": dict(sorted(taxonomy.items(),
                                         key=lambda kv: (-kv[1], kv[0]))),
         "guard_trips": guard_trips,
@@ -161,6 +194,23 @@ def render_report(events: Sequence[TraceEvent]) -> str:
             out.append(f"  {kind:20s} {slot['hits']:6d} hits "
                        f"{slot['misses']:6d} misses  "
                        f"(hit rate {100.0 * slot['hit_rate']:.1f}%)")
+
+    srv = s["serving"]
+    if srv["enqueued"] or srv["dispatches"]:
+        out.append("")
+        out.append("## serving")
+        out.append(f"  enqueued {srv['enqueued']}  "
+                   f"dispatches {srv['dispatches']}  "
+                   f"served rhs {srv['served_rhs']}  "
+                   f"mid-block admits {srv['mid_block_admits']}")
+        occ = srv["mean_occupancy"]
+        occ_txt = f"{occ:.3f}" if math.isfinite(occ) else "n/a"
+        out.append(f"  mean batch occupancy {occ_txt}  "
+                   f"modeled {srv['modeled_seconds']:.3g}s")
+        if srv["shed"]:
+            shed_txt = ", ".join(f"{k}×{v}" for k, v in
+                                 sorted(srv["shed"].items()))
+            out.append(f"  shed: {shed_txt}")
 
     out.append("")
     out.append("## failures")

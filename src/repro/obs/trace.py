@@ -25,6 +25,13 @@ Event kinds
 ``batch_start`` / ``batch_end``
     One fingerprint-grouped batched solve dispatched by
     :class:`repro.batch.SolverService`; both carry the batch size.
+``queue_enqueue`` / ``queue_cancel``
+    Serving-queue lifecycle: a request accepted into the
+    :class:`repro.serve.RequestQueue`, or cancelled while queued.
+``admit`` / ``shed``
+    A queued request admitted into a running/new block at an iteration
+    boundary, or rejected/expired with a ``reason`` (``queue_depth``,
+    ``backlog_seconds``, ``deadline_queued``, ``cancelled``).
 
 Zero-cost-when-off invariant
 ----------------------------
@@ -60,6 +67,7 @@ EVENT_KINDS = (
     "experiment_start", "experiment_end",
     "suite_start", "suite_end",
     "batch_start", "batch_end",
+    "queue_enqueue", "queue_cancel", "admit", "shed",
 )
 
 

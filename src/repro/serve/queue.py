@@ -1,0 +1,201 @@
+"""Bounded request queue with admission control (backpressure).
+
+The queue sheds load *at the door* instead of letting an unbounded
+backlog destroy every request's latency.  Two admission predicates,
+both optional:
+
+* ``max_depth`` — a hard cap on queued requests (classic bounded
+  queue).
+* ``max_backlog_s`` — a cap on the queue's **modeled backlog**: the sum
+  of estimated modeled-device seconds of everything already queued
+  (the newcomer's estimated *wait*, not its own service time — an
+  empty queue always admits).  Estimates come from the scheduler's
+  per-fingerprint EWMA of observed service times, falling back to the
+  machine model's
+  :func:`~repro.machine.kernels.estimate_request_seconds` a-priori
+  price, so backpressure reacts to *work*, not just count — ten tiny
+  systems are cheaper than two huge ones.
+
+A rejected push raises :class:`~repro.errors.QueueFullError` with the
+failed predicate in ``reason`` (``"queue_depth"`` /
+``"backlog_seconds"``); :meth:`RequestQueue.try_push` returns the
+reason instead for schedulers that record sheds as outcomes rather
+than propagate exceptions (the event-driven loadgen path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..errors import QueueFullError
+from .request import ServeRequest
+
+__all__ = ["AdmissionPolicy", "RequestQueue"]
+
+#: Shed reasons the serving layer emits (trace ``shed`` events and
+#: :class:`~repro.serve.request.ServeOutcome.shed_reason` use these).
+SHED_REASONS = ("queue_depth", "backlog_seconds", "deadline_queued",
+                "cancelled")
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Admission-control knobs (``None`` disables a predicate).
+
+    ``unbounded()`` — accept everything — is what the degenerate
+    flush-compat path uses.
+    """
+
+    max_depth: int | None = None
+    max_backlog_s: float | None = None
+
+    def __post_init__(self):
+        if self.max_depth is not None and self.max_depth < 1:
+            raise ValueError("max_depth must be positive or None")
+        if self.max_backlog_s is not None and self.max_backlog_s <= 0:
+            raise ValueError("max_backlog_s must be positive or None")
+
+    @classmethod
+    def unbounded(cls) -> "AdmissionPolicy":
+        return cls(max_depth=None, max_backlog_s=None)
+
+
+class RequestQueue:
+    """FIFO-per-priority queue of :class:`ServeRequest`, grouped by
+    matrix fingerprint, guarded by an :class:`AdmissionPolicy`.
+
+    Parameters
+    ----------
+    policy:
+        Admission predicates; unbounded when ``None``.
+    estimator:
+        ``estimator(request) -> float`` returning the request's
+        estimated modeled service seconds (used for the backlog
+        predicate and exposed via :meth:`backlog_seconds`).  A constant
+        zero when ``None`` (depth-only admission).
+    """
+
+    def __init__(self, policy: AdmissionPolicy | None = None,
+                 estimator: Callable[[ServeRequest], float] | None = None):
+        self.policy = policy if policy is not None \
+            else AdmissionPolicy.unbounded()
+        self._estimator = estimator
+        self._items: dict[int, ServeRequest] = {}
+        self._estimates: dict[int, float] = {}
+        self._backlog_s = 0.0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, req_id: int) -> bool:
+        return req_id in self._items
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    def backlog_seconds(self) -> float:
+        """Estimated modeled seconds of work currently queued."""
+        return self._backlog_s
+
+    # ------------------------------------------------------------------
+    def admission_reason(self, request: ServeRequest) -> str | None:
+        """The predicate that would shed *request*, or ``None`` if it
+        would be admitted (pure check, no mutation)."""
+        pol = self.policy
+        if pol.max_depth is not None and len(self._items) >= pol.max_depth:
+            return "queue_depth"
+        # Backlog prices the work *ahead of* the newcomer, not the
+        # newcomer itself — an empty queue always admits, however
+        # expensive the request (it could never be served otherwise).
+        if (pol.max_backlog_s is not None
+                and self._backlog_s > pol.max_backlog_s):
+            return "backlog_seconds"
+        return None
+
+    def try_push(self, request: ServeRequest) -> str | None:
+        """Admit *request* or return the shed reason (no exception)."""
+        reason = self.admission_reason(request)
+        if reason is not None:
+            return reason
+        est = self._estimate(request)
+        self._items[request.req_id] = request
+        self._estimates[request.req_id] = est
+        self._backlog_s += est
+        return None
+
+    def push(self, request: ServeRequest) -> None:
+        """Admit *request* or raise :class:`QueueFullError` carrying the
+        failed predicate in ``reason`` — the synchronous backpressure
+        path interactive callers see."""
+        reason = self.try_push(request)
+        if reason is not None:
+            raise QueueFullError(reason)
+
+    def _estimate(self, request: ServeRequest) -> float:
+        # Only price requests when a backlog bound actually consumes
+        # the estimate — the estimator may factorize a never-seen
+        # matrix, which must not happen on the unbounded fast path.
+        if self._estimator is None or self.policy.max_backlog_s is None:
+            return 0.0
+        return float(self._estimator(request))
+
+    # ------------------------------------------------------------------
+    def remove(self, req_id: int) -> ServeRequest | None:
+        """Remove and return a queued request (``None`` if not queued)."""
+        req = self._items.pop(req_id, None)
+        if req is not None:
+            self._backlog_s -= self._estimates.pop(req.req_id, 0.0)
+            if not self._items:
+                self._backlog_s = 0.0  # kill float drift at empty
+        return req
+
+    def expire(self, now_s: float) -> list[ServeRequest]:
+        """Remove every queued request whose deadline is at or before
+        *now_s* — they can no longer be served in time and are shed
+        (``deadline_queued``) without ever holding a slot."""
+        dead = [r for r in self._items.values()
+                if r.deadline_s is not None and r.deadline_s <= now_s]
+        for r in dead:
+            self.remove(r.req_id)
+        return dead
+
+    # ------------------------------------------------------------------
+    def fingerprints(self) -> list[str]:
+        """Distinct fingerprints queued, ordered by their oldest
+        request's arrival (the dispatch loop serves groups FIFO)."""
+        heads: dict[str, float] = {}
+        for r in self._items.values():
+            t = heads.get(r.fingerprint)
+            if t is None or r.arrival_s < t:
+                heads[r.fingerprint] = r.arrival_s
+        return sorted(heads, key=heads.__getitem__)
+
+    def group(self, fingerprint: str) -> list[ServeRequest]:
+        """Queued requests for *fingerprint* in dispatch order
+        (priority, then arrival)."""
+        members = [r for r in self._items.values()
+                   if r.fingerprint == fingerprint]
+        members.sort(key=ServeRequest.sort_key)
+        return members
+
+    def oldest_arrival(self, fingerprint: str) -> float | None:
+        """Arrival time of the group's oldest member (batching-window
+        max-wait is measured from here)."""
+        times = [r.arrival_s for r in self._items.values()
+                 if r.fingerprint == fingerprint]
+        return min(times) if times else None
+
+    def take(self, requests: Iterable[ServeRequest]) -> None:
+        """Remove *requests* from the queue (they are being dispatched)."""
+        for r in requests:
+            self.remove(r.req_id)
+
+    def next_deadline(self) -> float | None:
+        """Earliest queued deadline (the dispatch loop's next expiry
+        event), or ``None``."""
+        deadlines = [r.deadline_s for r in self._items.values()
+                     if r.deadline_s is not None]
+        return min(deadlines) if deadlines else None

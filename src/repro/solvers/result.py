@@ -24,6 +24,12 @@ class TerminationReason(enum.Enum):
     #: A callback raised :class:`repro.errors.AbortSolve` — a health
     #: guard stopped the iteration (divergence/stagnation detection).
     GUARD_TRIPPED = "guard_tripped"
+    #: A serving deadline expired mid-solve: the scheduler cancelled the
+    #: column at an iteration boundary (best-effort iterate retained).
+    TIMED_OUT = "timed_out"
+    #: The caller cancelled the request mid-solve (explicit
+    #: :meth:`repro.serve.ServeScheduler.cancel`, not a deadline).
+    CANCELLED = "cancelled"
 
 
 @dataclass

@@ -82,6 +82,48 @@ class TestSuiteCommand:
         assert rc == 2
 
 
+class TestServeCommand:
+    def test_serve_prints_slo_table(self, capsys):
+        rc = main(["serve", "--sides", "12", "--requests", "10",
+                   "--rate", "800", "--max-batch", "4",
+                   "--precond", "jacobi", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "continuous=True" in out
+        assert "mean batch occupancy" in out
+        assert "p99 latency [model s]" in out
+        assert "p99 latency [wall s]" in out
+
+    def test_serve_json_and_trace(self, tmp_path, capsys):
+        import json
+
+        summary = tmp_path / "serve.json"
+        trace = tmp_path / "serve.jsonl"
+        rc = main(["serve", "--sides", "12", "--requests", "8",
+                   "--rate", "800", "--max-batch", "4",
+                   "--precond", "jacobi", "--seed", "3",
+                   "--json", str(summary), "--trace", str(trace)])
+        assert rc == 0
+        data = json.loads(summary.read_text())
+        assert data["n_completed"] == 8
+        assert data["latency_modeled_s"]["p99"] > 0
+        # The trace renders a serving section in the report ledger.
+        capsys.readouterr()
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "## serving" in out
+        assert "mean batch occupancy" in out
+
+    def test_serve_flush_style_flag(self, capsys):
+        rc = main(["serve", "--sides", "12", "--requests", "6",
+                   "--rate", "800", "--max-batch", "2",
+                   "--precond", "jacobi", "--seed", "4",
+                   "--no-continuous"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "continuous=False" in out
+
+
 class TestTraceAndReport:
     def test_solve_trace_writes_jsonl(self, tmp_path, capsys):
         from repro.obs import load_jsonl

@@ -19,6 +19,11 @@ Commands
     against the :class:`~repro.serve.ServeScheduler` (continuous
     batching, admission control, deadlines) and print the SLO table —
     throughput, goodput, occupancy, latency percentiles.
+``chaos``
+    Fault-injection study: sweep a seeded per-sweep device-fault rate
+    over the self-healing scheduler (ABFT detection, checkpointed
+    retries, circuit breaker) and a no-retry baseline; print the
+    goodput-vs-fault-rate table with audited goodput.
 ``datasets``
     List the registry (name, category, order, nnz on demand).
 ``devices``
@@ -206,6 +211,37 @@ def _cmd_serve(args) -> int:
     return 0 if report.n_completed else 1
 
 
+def _cmd_chaos(args) -> int:
+    import json
+
+    from .chaos import run_chaos_study
+
+    with _tracing(args.trace):
+        res = run_chaos_study(rates=tuple(args.rates), side=args.side,
+                              n_requests=args.requests, seed=args.seed,
+                              chaos_seed=args.chaos_seed,
+                              preconditioner=args.precond,
+                              max_batch=args.max_batch,
+                              max_retries=args.max_retries,
+                              checkpoint_every=args.checkpoint_every,
+                              device=args.device)
+    print(f"n={res.params['n']} requests={res.params['n_requests']} "
+          f"precond={res.params['preconditioner']} "
+          f"retries<={res.params['max_retries']} "
+          f"checkpoint_every={res.params['checkpoint_every']}")
+    print(res.summary_table())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(res.as_dict(), fh, indent=2)
+        print(f"summary -> {args.json}", file=sys.stderr)
+    worst = min(r.goodput for r in res.rows if r.mode == "self_healing")
+    if args.goodput_floor and worst < args.goodput_floor:
+        print(f"FAIL: self-healing goodput {worst:.3f} below floor "
+              f"{args.goodput_floor:.3f}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     from .obs import render_report_file
 
@@ -348,6 +384,39 @@ def main(argv: list[str] | None = None) -> int:
                    help="record the structured event trace to this "
                         "JSON-lines file (render with `repro report`)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("chaos", help="fault-injection study: goodput "
+                                     "vs fault rate, self-healing vs "
+                                     "no-retry baseline")
+    p.add_argument("--rates", type=float, nargs="+",
+                   default=[0.0, 0.02, 0.05, 0.10],
+                   help="per-sweep fault probabilities to sweep")
+    p.add_argument("--side", type=int, default=16,
+                   help="grid side of the 2-D Poisson test matrix")
+    p.add_argument("--requests", type=int, default=32)
+    p.add_argument("--precond", default="jacobi",
+                   choices=["ilu0", "iluk", "ic0", "jacobi"])
+    p.add_argument("--max-batch", type=int, default=8, dest="max_batch")
+    p.add_argument("--max-retries", type=int, default=4,
+                   dest="max_retries")
+    p.add_argument("--checkpoint-every", type=int, default=10,
+                   dest="checkpoint_every",
+                   help="verified-checkpoint cadence [sweeps]")
+    p.add_argument("--device", default="a100")
+    p.add_argument("--seed", type=int, default=12345,
+                   help="request-stream seed")
+    p.add_argument("--chaos-seed", type=int, default=7, dest="chaos_seed",
+                   help="fault-schedule seed")
+    p.add_argument("--goodput-floor", type=float, default=0.0,
+                   dest="goodput_floor",
+                   help="exit non-zero if self-healing goodput drops "
+                        "below this fraction at any swept rate")
+    p.add_argument("--json", default="", metavar="OUT.JSON",
+                   help="write the study as JSON")
+    p.add_argument("--trace", default="", metavar="OUT.JSONL",
+                   help="record the structured event trace to this "
+                        "JSON-lines file (render with `repro report`)")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("report", help="render the run ledger from a "
                                       "--trace JSON-lines file")

@@ -9,13 +9,17 @@ scalars, per-column convergence, frozen columns never recomputed);
 fingerprint-grouped batched dispatches that reuse cached factorizations.
 """
 
-from .block import BlockSolveResult, SlotDecision, SlotHook, pcg_block
+from .block import (BlockSolveResult, BoundaryView, CheckpointState,
+                    SlotDecision, SlotHook, VerifyConfig, pcg_block)
 from .service import BatchReport, GroupReport, SolveRequest, SolverService
 
 __all__ = [
     "BlockSolveResult",
+    "BoundaryView",
+    "CheckpointState",
     "SlotDecision",
     "SlotHook",
+    "VerifyConfig",
     "pcg_block",
     "SolveRequest",
     "GroupReport",

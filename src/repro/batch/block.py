@@ -35,10 +35,38 @@ the one a fresh sequential solve would take; resident columns are never
 recomputed or perturbed (their per-column scalars and reductions do not
 see the newcomer).  :mod:`repro.serve` builds its online scheduler on
 this hook.
+
+Verification and checkpoint/restart
+-----------------------------------
+A :class:`VerifyConfig` arms two silent-corruption detectors (the ABFT
+machinery communication-reduced CG variants lean on for numerical
+trust):
+
+* **ABFT column checksums** — every batched SpMV ``w = A·p`` is
+  verified against the precomputed column-sum vector ``s = 1ᵀA``:
+  ``1ᵀw_j`` must match ``s·p_j`` to a rounding-scaled tolerance.  A
+  mismatch freezes the column at its *pre-sweep* state (which the
+  checksum just proved clean) with ``CORRUPTED``.
+* **Periodic true-residual checks** — every ``residual_check_every``
+  local sweeps a column's recurrence residual is compared against the
+  recomputed ``b − A·x``; drift beyond tolerance is classified
+  ``CORRUPTED``, agreement marks the column *verified* at this
+  boundary (optionally replacing the recurrence residual with the true
+  one — classic residual replacement, off by default because it
+  perturbs the trajectory the restart-exactness tests pin down).
+
+A three-argument slot hook additionally receives a
+:class:`BoundaryView` whose :meth:`~BoundaryView.capture` snapshots a
+live column's full CG state as a :class:`CheckpointState`; admitting
+``(key, b, checkpoint)`` later resumes that column *bitwise* where the
+snapshot left off (per-column kernels are batch-composition
+independent), which is the serving layer's crash/corruption recovery
+path.
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Sequence
 
@@ -46,13 +74,15 @@ import numpy as np
 
 from ..errors import AbortSolve, ShapeError
 from ..obs.metrics import get_metrics
+from ..obs.trace import get_recorder
 from ..precond.base import Preconditioner
 from ..precond.identity import IdentityPreconditioner
 from ..solvers.result import SolveResult, TerminationReason
 from ..solvers.stopping import StoppingCriterion
 from ..sparse.csr import CSRMatrix
 
-__all__ = ["BlockSolveResult", "SlotDecision", "SlotHook", "pcg_block"]
+__all__ = ["BlockSolveResult", "SlotDecision", "SlotHook", "VerifyConfig",
+           "CheckpointState", "BoundaryView", "pcg_block"]
 
 
 @dataclass
@@ -62,9 +92,13 @@ class SlotDecision:
     Attributes
     ----------
     admit:
-        ``(key, b)`` pairs to admit as new columns (zero initial guess).
-        *key* is the caller's opaque handle (a request id); it comes
-        back in ``extra["serve"]["keys"]``.
+        ``(key, b)`` pairs — or ``(key, b, checkpoint)`` triples — to
+        admit as new columns.  *key* is the caller's opaque handle (a
+        request id); it comes back in ``extra["serve"]["keys"]``.  A
+        two-tuple (or ``checkpoint=None``) starts at the column's own
+        iteration 0 with a zero initial guess; a
+        :class:`CheckpointState` resumes the column bitwise from that
+        snapshot (the crash/corruption restart path).
     cancel:
         ``(key, reason)`` pairs; each matching **active** column is
         frozen at the boundary with that termination reason and the
@@ -73,22 +107,128 @@ class SlotDecision:
         by construction.
     """
 
-    admit: Sequence[tuple[object, np.ndarray]] = ()
+    admit: Sequence[tuple] = ()
     cancel: Sequence[tuple[object, TerminationReason]] = ()
 
     def __bool__(self) -> bool:
         return bool(self.admit) or bool(self.cancel)
 
 
-#: Called as ``hook(sweep, active_keys)`` at the boundary *before*
-#: sweep ``sweep`` runs (1-based).  ``active_keys`` is the tuple of
-#: keys of live columns before the decision is applied, so the caller
-#: always knows exactly which of its requests still occupy slots; the
-#: hook owns any notion of time (the serving scheduler advances its
-#: modeled clock here).  Returning ``None`` means "no changes".  When
-#: the working set is empty and the hook admits nothing, the block
-#: ends.
-SlotHook = Callable[[int, "tuple[object, ...]"], "SlotDecision | None"]
+#: Called as ``hook(sweep, active_keys)`` — or, when the callable
+#: accepts a third parameter, ``hook(sweep, active_keys, view)`` with a
+#: :class:`BoundaryView` — at the boundary *before* sweep ``sweep``
+#: runs (1-based).  ``active_keys`` is the tuple of keys of live
+#: columns before the decision is applied, so the caller always knows
+#: exactly which of its requests still occupy slots; the hook owns any
+#: notion of time (the serving scheduler advances its modeled clock
+#: here).  Returning ``None`` means "no changes".  When the working set
+#: is empty and the hook admits nothing, the block ends.
+SlotHook = Callable[..., "SlotDecision | None"]
+
+
+@dataclass(frozen=True)
+class VerifyConfig:
+    """Silent-corruption detection knobs for :func:`pcg_block`.
+
+    Attributes
+    ----------
+    abft:
+        Verify every batched SpMV against the column-sum checksum
+        vector ``s = 1ᵀA`` (``1ᵀ(A·p)_j`` vs ``s·p_j`` per column).
+    abft_rtol:
+        Relative checksum tolerance, scaled by ``|s|ᵀ|p_j|`` so it
+        tracks the rounding error of the sums being compared; well
+        above float64 accumulation noise at the suite's orders, well
+        below any injected exponent/mantissa bit flip.
+    residual_check_every:
+        Recompute the true residual ``b − A·x`` every this many *local*
+        sweeps per column and compare against the recurrence residual
+        (``None`` disables).  Columns that pass are reported *verified*
+        at that boundary — the states the serving layer checkpoints.
+    residual_rtol:
+        Drift tolerance relative to the column's ``‖b‖``.
+    replace:
+        On a passing check, replace the recurrence residual with the
+        true residual and restart the search direction (van der Vorst
+        style residual replacement).  Off by default: replacement
+        perturbs the trajectory, and the recovery invariants pin the
+        restarted trajectory bitwise to the fault-free one.
+    """
+
+    abft: bool = True
+    abft_rtol: float = 1e-8
+    residual_check_every: int | None = None
+    residual_rtol: float = 1e-6
+    replace: bool = False
+
+    def __post_init__(self):
+        if self.abft_rtol <= 0 or self.residual_rtol <= 0:
+            raise ValueError("verification tolerances must be positive")
+        if (self.residual_check_every is not None
+                and self.residual_check_every < 1):
+            raise ValueError("residual_check_every must be positive "
+                             "or None")
+
+
+@dataclass(frozen=True)
+class CheckpointState:
+    """Complete CG state of one column at an iteration boundary.
+
+    Captured by :meth:`BoundaryView.capture` (deep copies — the block
+    keeps mutating its working set) and consumed by a later
+    ``SlotDecision.admit`` triple.  Because every per-column kernel is
+    bitwise independent of batch composition, resuming from a
+    checkpoint continues the *exact* trajectory the column would have
+    taken uncorrupted — the foundation of the exact-recovery invariant.
+    """
+
+    x: np.ndarray
+    r: np.ndarray
+    p: np.ndarray
+    rz: float
+    iters: int
+    history: tuple[float, ...]
+
+    def __post_init__(self):
+        if self.iters < 0:
+            raise ValueError("iters must be non-negative")
+        if len(self.history) != self.iters + 1:
+            raise ValueError(
+                f"history length {len(self.history)} does not match "
+                f"iters {self.iters} (+1 for the initial residual)")
+
+
+class BoundaryView:
+    """Read-only window into the block state at one iteration boundary,
+    handed to three-argument slot hooks.
+
+    Attributes
+    ----------
+    sweep:
+        The 1-based boundary (same value as the hook's first argument).
+    verified:
+        Keys whose true-residual check *passed at this boundary* —
+        their live state is proven consistent, safe to checkpoint.
+    detected:
+        Corruption detections since the previous boundary: dicts with
+        ``key``, ``method`` (``"abft"`` / ``"residual"``), ``sweep``,
+        ``error`` and ``tolerance``.  The named columns are already
+        frozen with ``CORRUPTED``.
+    """
+
+    __slots__ = ("sweep", "verified", "detected", "_capture")
+
+    def __init__(self, sweep: int, verified: tuple, detected: tuple,
+                 capture: Callable[[object], CheckpointState]):
+        self.sweep = sweep
+        self.verified = verified
+        self.detected = detected
+        self._capture = capture
+
+    def capture(self, key: object) -> CheckpointState:
+        """Snapshot the live column *key* (deep copy).  Raises
+        ``KeyError`` for unknown or already-retired keys."""
+        return self._capture(key)
 
 
 @dataclass
@@ -189,7 +329,8 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
               criterion: StoppingCriterion | None = None,
               callback: Callable[[int, np.ndarray], None] | None = None,
               slot_hook: SlotHook | None = None,
-              keys: Sequence[object] | None = None
+              keys: Sequence[object] | None = None,
+              verify: VerifyConfig | None = None
               ) -> BlockSolveResult:
     """Left-preconditioned CG over an ``(n, B)`` block of right-hand sides.
 
@@ -228,6 +369,11 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
         ``0..B-1``).  Only meaningful together with *slot_hook*; the
         final per-column keys, admission sweeps and retirement sweeps
         are returned in ``extra["serve"]``.
+    verify:
+        Silent-corruption detection (see :class:`VerifyConfig`).  A
+        detected column freezes with ``CORRUPTED`` at its last provably
+        clean state; detection counters and records are returned in
+        ``extra["verify"]``.
 
     Returns
     -------
@@ -246,7 +392,10 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
         raise ShapeError(f"b_block must have shape ({n}, B), "
                          f"got {b_block.shape}")
     nb = b_block.shape[1]
-    if nb == 0:
+    if nb == 0 and slot_hook is None:
+        # A zero-column block is only meaningful with a slot hook: the
+        # hook may admit columns (e.g. checkpoint resumes) at the first
+        # boundary — the serving layer's all-retries dispatch.
         raise ShapeError("b_block must have at least one column")
     m = preconditioner if preconditioner is not None \
         else IdentityPreconditioner(n)
@@ -263,6 +412,32 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
 
     b_norms = _col_norms(b_block)
     thresholds = np.array([crit.threshold(bn) for bn in b_norms])
+
+    # Per-column right-hand sides (admissions append) — the true-
+    # residual detector and checkpoint restarts need b per column.
+    b_cols: list[np.ndarray] = [
+        np.ascontiguousarray(b_block[:, j]).astype(dtype, copy=False)
+        for j in range(nb)]
+    ver_stats: dict = {"n_abft_checks": 0, "n_residual_checks": 0,
+                       "n_replacements": 0, "detections": []}
+    abft_s = abft_abs = None
+    if verify is not None and verify.abft:
+        # Column sums of A straight off the CSR arrays (s = 1ᵀA) — no
+        # kernel call, so an operator wrapper that corrupts SpMV
+        # outputs cannot poison the checksum reference itself.
+        abft_s = np.zeros(n, dtype=np.float64)
+        np.add.at(abft_s, a.indices, a.data.astype(np.float64,
+                                                   copy=False))
+        abft_abs = np.zeros(n, dtype=np.float64)
+        np.add.at(abft_abs, a.indices, np.abs(a.data).astype(
+            np.float64, copy=False))
+    hook_wants_view = False
+    if slot_hook is not None:
+        try:
+            hook_wants_view = len(
+                inspect.signature(slot_hook).parameters) >= 3
+        except (TypeError, ValueError):  # odd callables: assume new API
+            hook_wants_view = True
 
     # Per-column terminal state, filled in as columns retire.  Under a
     # slot hook these arrays *grow* as columns are admitted; ``born``
@@ -291,6 +466,8 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
             extra["serve"] = {"keys": list(col_keys), "born": born.copy(),
                               "died": died.copy(),
                               "widths": list(widths)}
+        if verify is not None:
+            extra["verify"] = ver_stats
         res = BlockSolveResult(
             x=x, converged=conv, n_iters=iters,
             residual_norms=[np.asarray(h) for h in histories],
@@ -372,15 +549,23 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
         return xa, ra, pa, rz, idx
 
     def admit_columns(admits, k, xa, ra, pa, rz, idx):
-        """Start new columns at their own iteration 0 (zero initial
-        guess) at boundary ``k`` — the continuous-batching join point.
-        Mirrors the pre-loop setup exactly: residual = b, immediate
-        convergence check, preconditioner application, breakdown check,
-        first search direction."""
+        """Start new columns at boundary ``k`` — the continuous-
+        batching join point.  A ``(key, b)`` pair starts at its own
+        iteration 0, mirroring the pre-loop setup exactly: residual =
+        b, immediate convergence check, preconditioner application,
+        breakdown check, first search direction.  A ``(key, b,
+        checkpoint)`` triple resumes the column bitwise from its
+        :class:`CheckpointState` — ``born`` shifts back by the
+        checkpoint's earned iterations so budgets, counts and history
+        lengths span both attempts."""
         nonlocal x, conv, iters, born, died, last_norms, b_norms, thresholds
         cols: list[int] = []
         vecs: list[np.ndarray] = []
-        for key, b_new in admits:
+        res_cols: list[int] = []
+        res_states: list[CheckpointState] = []
+        for item in admits:
+            key, b_new = item[0], item[1]
+            restore = item[2] if len(item) > 2 else None
             b_new = np.asarray(b_new, dtype=dtype)
             if b_new.shape != (n,):
                 raise ShapeError(f"admitted b must have shape ({n},), "
@@ -394,43 +579,76 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
             thresholds = np.append(thresholds, crit.threshold(bn))
             conv = np.append(conv, False)
             iters = np.append(iters, 0)
-            born = np.append(born, k - 1)
-            died = np.append(died, k - 1)
-            histories.append([bn])
-            last_norms = np.append(last_norms, bn)
+            b_cols.append(b_new)
             x = np.concatenate([x, np.zeros((n, 1), dtype=dtype)], axis=1)
-            if crit.is_met(bn, bn):
+            if restore is None:
+                born = np.append(born, k - 1)
+                died = np.append(died, k - 1)
+                histories.append([bn])
+                last_norms = np.append(last_norms, bn)
+                if crit.is_met(bn, bn):
+                    reasons[j] = TerminationReason.CONVERGED
+                    conv[j] = True
+                    continue
+                cols.append(j)
+                vecs.append(b_new)
+                continue
+            rn0 = float(restore.history[-1])
+            born = np.append(born, (k - 1) - restore.iters)
+            died = np.append(died, k - 1)
+            histories.append([float(v) for v in restore.history])
+            last_norms = np.append(last_norms, rn0)
+            iters[j] = restore.iters
+            if crit.is_met(rn0, bn):
+                x[:, j] = np.asarray(restore.x, dtype=dtype)
                 reasons[j] = TerminationReason.CONVERGED
                 conv[j] = True
                 continue
-            cols.append(j)
-            vecs.append(b_new)
-        if not cols:
-            return xa, ra, pa, rz, idx
-        rn = np.stack(vecs, axis=1)
-        zn = m.apply(rn)
-        rzn = _col_dots(rn, zn)
-        bad = (rzn == 0.0) | ~np.isfinite(rzn)
-        good: list[int] = []
-        for t, j in enumerate(cols):
-            if bad[t]:
+            if restore.rz == 0.0 or not np.isfinite(restore.rz):
+                x[:, j] = np.asarray(restore.x, dtype=dtype)
                 reasons[j] = TerminationReason.NUMERICAL_BREAKDOWN
-            else:
-                good.append(t)
-        if good:
-            g = np.asarray(good)
-            new_cols = np.asarray(cols, dtype=idx.dtype)[g]
-            idx = np.concatenate([idx, new_cols])
+                continue
+            res_cols.append(j)
+            res_states.append(restore)
+        if cols:
+            rn = np.stack(vecs, axis=1)
+            zn = m.apply(rn)
+            rzn = _col_dots(rn, zn)
+            bad = (rzn == 0.0) | ~np.isfinite(rzn)
+            good: list[int] = []
+            for t, j in enumerate(cols):
+                if bad[t]:
+                    reasons[j] = TerminationReason.NUMERICAL_BREAKDOWN
+                else:
+                    good.append(t)
+            if good:
+                g = np.asarray(good)
+                new_cols = np.asarray(cols, dtype=idx.dtype)[g]
+                idx = np.concatenate([idx, new_cols])
+                xa = np.concatenate(
+                    [xa, np.zeros((n, g.size), dtype=dtype)], axis=1)
+                ra = np.concatenate([ra, rn[:, g]], axis=1)
+                pa = np.concatenate(
+                    [pa, zn[:, g].astype(dtype, copy=True)], axis=1)
+                rz = np.concatenate([rz, rzn[g]])
+        if res_cols:
+            idx = np.concatenate(
+                [idx, np.asarray(res_cols, dtype=idx.dtype)])
             xa = np.concatenate(
-                [xa, np.zeros((n, g.size), dtype=dtype)], axis=1)
-            ra = np.concatenate([ra, rn[:, g]], axis=1)
+                [xa] + [np.asarray(s.x, dtype=dtype)[:, None]
+                        for s in res_states], axis=1)
+            ra = np.concatenate(
+                [ra] + [np.asarray(s.r, dtype=dtype)[:, None]
+                        for s in res_states], axis=1)
             pa = np.concatenate(
-                [pa, zn[:, g].astype(dtype, copy=True)], axis=1)
-            rz = np.concatenate([rz, rzn[g]])
+                [pa] + [np.asarray(s.p, dtype=dtype)[:, None]
+                        for s in res_states], axis=1)
+            rz = np.concatenate(
+                [rz, np.asarray([s.rz for s in res_states])])
         return xa, ra, pa, rz, idx
 
     met0 = np.array([crit.is_met(float(r0[j]), float(b_norms[j]))
-                     for j in range(nb)])
+                     for j in range(nb)], dtype=bool)
     keep = retire(met0, x, TerminationReason.CONVERGED, 0, converged=True)
     idx = idx[keep]
     if idx.size == 0 and slot_hook is None:
@@ -455,12 +673,86 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
         rz = np.zeros(0)
 
     k = 0
+    pending_detected: list[dict] = []
+    rec = get_recorder()
+    metrics = get_metrics()
+
+    def detect(j: int, method: str, sweep: int, err: float,
+               tol: float) -> None:
+        d = {"key": col_keys[j], "method": method, "sweep": sweep,
+             "error": float(err), "tolerance": float(tol)}
+        ver_stats["detections"].append(d)
+        pending_detected.append(d)
+        metrics.inc("chaos.detections")
+        metrics.inc(f"chaos.detections.{method}")
+        if rec.enabled:
+            rec.emit("checksum_fail", key=col_keys[j], method=method,
+                     sweep=sweep, error=float(err), tolerance=float(tol))
+
     while True:
         k += 1
         # ---- iteration boundary k (before sweep k runs) --------------
+        # True-residual verification first, so the hook's BoundaryView
+        # sees exactly which columns are proven consistent (safe to
+        # checkpoint) and which just got caught drifting.
+        verified_keys: tuple = ()
+        if (verify is not None and verify.residual_check_every
+                and idx.size):
+            local = (k - 1) - born[idx]
+            due = np.flatnonzero(
+                (local > 0) & (local % verify.residual_check_every == 0))
+            if due.size:
+                ver_stats["n_residual_checks"] += int(due.size)
+                sub = idx[due]
+                bt = np.stack([b_cols[int(j)] for j in sub], axis=1)
+                r_true = bt - a.matmat(np.ascontiguousarray(xa[:, due]))
+                drift = _col_norms(r_true - ra[:, due])
+                tol = verify.residual_rtol * b_norms[sub]
+                badv = ~np.isfinite(drift) | (drift > tol)
+                ok = due[~badv]
+                verified_keys = tuple(col_keys[int(j)] for j in idx[ok])
+                if verify.replace and ok.size:
+                    # Residual replacement: adopt the true residual and
+                    # restart the search direction (van der Vorst).
+                    ver_stats["n_replacements"] += int(ok.size)
+                    ra[:, ok] = r_true[:, ~badv]
+                    zn = m.apply(np.ascontiguousarray(ra[:, ok]))
+                    pa[:, ok] = zn.astype(dtype, copy=False)
+                    rz[ok] = _col_dots(ra[:, ok], zn)
+                if badv.any():
+                    for u in np.flatnonzero(badv):
+                        detect(int(idx[int(due[u])]), "residual", k,
+                               float(drift[u]), float(tol[u]))
+                    mask = np.zeros(idx.size, dtype=bool)
+                    mask[due[badv]] = True
+                    keep = retire(mask, xa, TerminationReason.CORRUPTED,
+                                  k - 1, died_at=k - 1)
+                    idx, xa, ra, pa, rz = (idx[keep], xa[:, keep],
+                                           ra[:, keep], pa[:, keep],
+                                           rz[keep])
         if slot_hook is not None:
-            decision = slot_hook(
-                k, tuple(col_keys[int(j)] for j in idx))
+            active_keys = tuple(col_keys[int(j)] for j in idx)
+            if hook_wants_view:
+                def capture(key: object, _k: int = k) -> CheckpointState:
+                    j = key_to_col.get(key)
+                    pos = (np.flatnonzero(idx == j)
+                           if j is not None else np.empty(0))
+                    if j is None or pos.size == 0:
+                        raise KeyError(
+                            f"column {key!r} is not active at this "
+                            f"boundary")
+                    t = int(pos[0])
+                    return CheckpointState(
+                        x=xa[:, t].copy(), r=ra[:, t].copy(),
+                        p=pa[:, t].copy(), rz=float(rz[t]),
+                        iters=int((_k - 1) - born[j]),
+                        history=tuple(histories[j]))
+
+                view = BoundaryView(k, verified_keys,
+                                    tuple(pending_detected), capture)
+                decision = slot_hook(k, active_keys, view)
+            else:
+                decision = slot_hook(k, active_keys)
             if decision is not None:
                 if decision.cancel:
                     xa, ra, pa, rz, idx = cancel_columns(
@@ -468,6 +760,7 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
                 if decision.admit:
                     xa, ra, pa, rz, idx = admit_columns(
                         decision.admit, k, xa, ra, pa, rz, idx)
+        pending_detected = []
         if idx.size == 0:
             break
         # Entering width of sweep k — a column that retires mid-sweep
@@ -475,6 +768,26 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
         # batch size the scheduler prices the sweep at.
         widths.append(int(idx.size))
         wa = a.matmat(pa)
+        if abft_s is not None:
+            # ABFT column checksums: 1ᵀ(A·p)_j must match (1ᵀA)·p_j to
+            # a rounding-scaled tolerance.  A mismatch (or a non-finite
+            # sum — transient kernel garbage) freezes the column at its
+            # pre-sweep state, which the checksum just proved clean.
+            ver_stats["n_abft_checks"] += 1
+            err = np.abs(wa.sum(axis=0) - abft_s @ pa)
+            tol = verify.abft_rtol * (abft_abs @ np.abs(pa))
+            badc = ~np.isfinite(err) | (err > tol)
+            if badc.any():
+                for t in np.flatnonzero(badc):
+                    detect(int(idx[int(t)]), "abft", k,
+                           float(err[t]), float(tol[t]))
+                keep = retire(badc, xa, TerminationReason.CORRUPTED,
+                              k - 1, died_at=k)
+                idx, xa, ra, pa, wa, rz = (
+                    idx[keep], xa[:, keep], ra[:, keep], pa[:, keep],
+                    wa[:, keep], rz[keep])
+                if idx.size == 0:
+                    continue
         pw = _col_dots(pa, wa)
         # Curvature checks freeze a column *before* the update (its
         # iterate stays at k-1 completed iterations, no norm appended).

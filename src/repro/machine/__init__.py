@@ -38,6 +38,9 @@ from .kernels import (
     time_trisolve_aggregated,
     time_ilu_factorization,
     time_sparsification,
+    time_checkpoint,
+    time_abft_check,
+    time_residual_check,
 )
 from .timeline import KernelEvent, Timeline
 from .profiler import KernelProfiler, PhaseUtilization
@@ -63,6 +66,9 @@ __all__ = [
     "time_trisolve_aggregated",
     "time_ilu_factorization",
     "time_sparsification",
+    "time_checkpoint",
+    "time_abft_check",
+    "time_residual_check",
     "KernelEvent",
     "Timeline",
     "KernelProfiler",

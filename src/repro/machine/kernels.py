@@ -32,6 +32,9 @@ __all__ = [
     "iteration_cost",
     "iteration_cost_batched",
     "estimate_request_seconds",
+    "time_checkpoint",
+    "time_abft_check",
+    "time_residual_check",
 ]
 
 
@@ -396,3 +399,39 @@ def estimate_request_seconds(dev: DeviceModel, a: CSRMatrix,
     batch = _check_batch(batch)
     cost = iteration_cost_batched(dev, a, preconditioner, batch)
     return cost.total * float(iters) / batch
+
+
+def time_checkpoint(dev: DeviceModel, n: int, batch: int = 1) -> float:
+    """Capture per-column (x, r, p) checkpoint state for ``batch``
+    columns: three device-to-device vector copies (read + write each)
+    in one launch.  This is the price the self-healing scheduler pays
+    at every verified boundary, so modeled makespan grows strictly with
+    checkpoint frequency — fault-tolerance overhead is never free."""
+    batch = _check_batch(batch)
+    bytes_ = 3.0 * 2.0 * n * batch * dev.value_bytes
+    util = min(1.0, n * batch / dev.parallel_lanes)
+    return dev.launch_overhead + _roofline(dev, 0.0, bytes_, util)
+
+
+def time_abft_check(dev: DeviceModel, n: int, batch: int = 1) -> float:
+    """ABFT column-checksum verification of one batched SpMV: a column
+    reduction of ``w`` plus a checksum-vector dot per column, fused into
+    one reduction kernel (launch + sync paid once for the block)."""
+    batch = _check_batch(batch)
+    flops = 4.0 * n * batch
+    bytes_ = 2.0 * n * batch * dev.value_bytes
+    util = min(1.0, n * batch / dev.parallel_lanes)
+    return (dev.launch_overhead + dev.sync_overhead
+            + _roofline(dev, flops, bytes_, util))
+
+
+def time_residual_check(dev: DeviceModel, a: CSRMatrix,
+                        batch: int = 1) -> float:
+    """True-residual verification ``r_true = b − A x`` for ``batch``
+    columns: one batched SpMV, one batched AXPY-like subtraction, and
+    one batched norm reduction — the periodic residual-replacement
+    check of the detection layer."""
+    batch = _check_batch(batch)
+    return (time_spmv_batched(dev, a.n_rows, a.nnz, batch)
+            + time_axpy_batched(dev, a.n_rows, batch)
+            + time_dot_batched(dev, a.n_rows, batch))

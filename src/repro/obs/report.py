@@ -17,7 +17,12 @@ summary).  The ledger has four sections:
   occupancy from the ``queue_*``/``admit``/``shed``/``batch_end``
   stream;
 * **failures** — taxonomy over failed experiment variants and fallback
-  attempts, plus guard-trip and fallback-recovery counts.
+  attempts, plus guard-trip and fallback-recovery counts;
+* **chaos / self-healing** — injected faults by kind, corruption
+  detections by method (ABFT checksum vs true residual), checkpoints,
+  restarts, retries, breaker transitions, and brownout episodes from
+  the ``fault_injected``/``checksum_fail``/``checkpoint``/``restart``/
+  ``retry``/``breaker_*``/``brownout`` stream.
 """
 
 from __future__ import annotations
@@ -54,6 +59,9 @@ def summarize_trace(events: Sequence[TraceEvent]) -> dict:
     serving = {"enqueued": 0, "shed": {}, "queue_cancels": 0,
                "admits": 0, "mid_block_admits": 0, "dispatches": 0,
                "served_rhs": 0, "modeled_seconds": 0.0}
+    chaos = {"faults": {}, "detections": {}, "checkpoints": 0,
+             "restarts": 0, "retries": 0, "breaker_opens": 0,
+             "breaker_closes": 0, "brownouts": 0}
     occ_num = occ_den = 0.0
 
     for ev in events:
@@ -110,6 +118,26 @@ def summarize_trace(events: Sequence[TraceEvent]) -> dict:
                 sweeps = float(p.get("sweeps", 0))
                 occ_num += float(p["occupancy"]) * sweeps
                 occ_den += sweeps
+        elif ev.kind == "fault_injected":
+            kind = p.get("kind", "?")
+            chaos["faults"][kind] = chaos["faults"].get(kind, 0) + 1
+        elif ev.kind == "checksum_fail":
+            method = p.get("method", "?")
+            chaos["detections"][method] = \
+                chaos["detections"].get(method, 0) + 1
+        elif ev.kind == "checkpoint":
+            chaos["checkpoints"] += len(p.get("keys", ())) or 1
+        elif ev.kind == "restart":
+            chaos["restarts"] += 1
+        elif ev.kind == "retry":
+            chaos["retries"] += 1
+        elif ev.kind == "breaker_open":
+            chaos["breaker_opens"] += 1
+        elif ev.kind == "breaker_close":
+            chaos["breaker_closes"] += 1
+        elif ev.kind == "brownout":
+            if p.get("active"):
+                chaos["brownouts"] += 1
 
     for slot in cache.values():
         n = slot["hits"] + slot["misses"]
@@ -124,6 +152,7 @@ def summarize_trace(events: Sequence[TraceEvent]) -> dict:
         "solves": solves,
         "cache": cache,
         "serving": serving,
+        "chaos": chaos,
         "failure_taxonomy": dict(sorted(taxonomy.items(),
                                         key=lambda kv: (-kv[1], kv[0]))),
         "guard_trips": guard_trips,
@@ -211,6 +240,27 @@ def render_report(events: Sequence[TraceEvent]) -> str:
             shed_txt = ", ".join(f"{k}×{v}" for k, v in
                                  sorted(srv["shed"].items()))
             out.append(f"  shed: {shed_txt}")
+
+    ch = s["chaos"]
+    if (ch["faults"] or ch["detections"] or ch["retries"]
+            or ch["brownouts"]):
+        out.append("")
+        out.append("## chaos / self-healing")
+        if ch["faults"]:
+            txt = ", ".join(f"{k}×{v}" for k, v in
+                            sorted(ch["faults"].items()))
+            out.append(f"  faults injected: {txt}")
+        if ch["detections"]:
+            txt = ", ".join(f"{k}×{v}" for k, v in
+                            sorted(ch["detections"].items()))
+            out.append(f"  corruption detected: {txt}")
+        out.append(f"  checkpoints {ch['checkpoints']}  "
+                   f"restarts {ch['restarts']}  retries {ch['retries']}")
+        if ch["breaker_opens"] or ch["breaker_closes"]:
+            out.append(f"  breaker: {ch['breaker_opens']} downgrades, "
+                       f"{ch['breaker_closes']} recoveries")
+        if ch["brownouts"]:
+            out.append(f"  brownout episodes: {ch['brownouts']}")
 
     out.append("")
     out.append("## failures")

@@ -32,6 +32,26 @@ Event kinds
     A queued request admitted into a running/new block at an iteration
     boundary, or rejected/expired with a ``reason`` (``queue_depth``,
     ``backlog_seconds``, ``deadline_queued``, ``cancelled``).
+``fault_injected``
+    The chaos plan fired one modeled device fault (``fault`` names the
+    :class:`repro.chaos.FaultKind` value).
+``checksum_fail``
+    A detector caught silent corruption — ABFT column-checksum mismatch
+    on the batched SpMV or true-vs-recurrence residual drift
+    (``method`` is ``"abft"`` / ``"residual"``).
+``checkpoint`` / ``restart``
+    Per-column (x, r, p) state captured at a verified iteration
+    boundary, or a request re-admitted from its last checkpoint.
+``retry``
+    A failed request re-queued with exponential backoff on the modeled
+    clock (``attempt`` counts from 1).
+``breaker_open`` / ``breaker_close``
+    The per-fingerprint circuit breaker downgraded the dispatch rung
+    after repeated failures, or restored it after a cooldown.
+``brownout``
+    The overload policy entered/left brownout (``action`` is
+    ``"enter"`` / ``"exit"``) — tolerance loosened / preconditioner
+    downgraded while the modeled backlog exceeds its threshold.
 
 Zero-cost-when-off invariant
 ----------------------------
@@ -68,6 +88,8 @@ EVENT_KINDS = (
     "suite_start", "suite_end",
     "batch_start", "batch_end",
     "queue_enqueue", "queue_cancel", "admit", "shed",
+    "fault_injected", "checksum_fail", "checkpoint", "restart",
+    "retry", "breaker_open", "breaker_close", "brownout",
 )
 
 

@@ -52,6 +52,13 @@ class FailureClass(enum.Enum):
     FILL_EXPLOSION = "fill_explosion"
     #: The (modeled) device failed — injected sync/launch failure.
     SYNC_FAILURE = "sync_failure"
+    #: Silent data corruption caught by a detector — ABFT column-
+    #: checksum mismatch on the batched SpMV or true-vs-recurrence
+    #: residual drift beyond tolerance (bit-flip-style SDC).
+    SILENT_CORRUPTION = "silent_corruption"
+    #: The (modeled) device crashed outright mid-block; recovery is a
+    #: checkpoint restart, not a numerical fallback.
+    DEVICE_CRASH = "device_crash"
     #: Anything else the classifier could not name.
     UNKNOWN = "unknown"
 
@@ -198,6 +205,8 @@ def classify_failure(outcome) -> FailureClass | None:
             TerminationReason.MAX_ITERATIONS: FailureClass.NO_CONVERGENCE,
             TerminationReason.INDEFINITE: FailureClass.INDEFINITE,
             TerminationReason.NUMERICAL_BREAKDOWN: FailureClass.NAN_OR_INF,
+            TerminationReason.CORRUPTED: FailureClass.SILENT_CORRUPTION,
+            TerminationReason.DEVICE_CRASH: FailureClass.DEVICE_CRASH,
         }.get(outcome.reason, FailureClass.UNKNOWN)
     if isinstance(outcome, GuardTrip):
         return outcome.failure

@@ -18,8 +18,16 @@ server must decide **when to batch, whom to admit, and what to shed**:
 * :mod:`repro.serve.loadgen` — open-loop Poisson and closed-loop
   workloads with SLO reporting (throughput, goodput under deadline,
   occupancy, latency percentiles on wall and modeled clocks).
+* :mod:`repro.serve.healing` — self-healing policies: checkpointed
+  retries with exponential backoff (:class:`RetryPolicy`), a
+  per-fingerprint circuit breaker walking the preconditioner ladder
+  (:class:`BreakerPolicy`), and overload brownout that sheds accuracy
+  instead of requests (:class:`BrownoutPolicy`); paired with
+  :mod:`repro.chaos` fault injection for the acceptance suite.
 """
 
+from .healing import (BreakerPolicy, BrownoutPolicy, CircuitBreaker,
+                      RetryPolicy, precond_ladder)
 from .loadgen import LoadSpec, poisson_arrivals, run_loadgen
 from .queue import AdmissionPolicy, RequestQueue
 from .request import (RequestStatus, ServeOutcome, ServeRequest,
@@ -34,6 +42,11 @@ __all__ = [
     "ServeOutcome",
     "AdmissionPolicy",
     "RequestQueue",
+    "RetryPolicy",
+    "BreakerPolicy",
+    "BrownoutPolicy",
+    "CircuitBreaker",
+    "precond_ladder",
     "BatchingWindow",
     "DispatchRecord",
     "ServeReport",

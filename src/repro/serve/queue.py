@@ -74,13 +74,20 @@ class RequestQueue:
         estimated modeled service seconds (used for the backlog
         predicate and exposed via :meth:`backlog_seconds`).  A constant
         zero when ``None`` (depth-only admission).
+    price_always:
+        Run the estimator even when no ``max_backlog_s`` bound is set,
+        so :meth:`backlog_seconds` stays meaningful for consumers other
+        than admission control (the scheduler's overload-brownout
+        policy watches it).
     """
 
     def __init__(self, policy: AdmissionPolicy | None = None,
-                 estimator: Callable[[ServeRequest], float] | None = None):
+                 estimator: Callable[[ServeRequest], float] | None = None,
+                 *, price_always: bool = False):
         self.policy = policy if policy is not None \
             else AdmissionPolicy.unbounded()
         self._estimator = estimator
+        self._price_always = bool(price_always)
         self._items: dict[int, ServeRequest] = {}
         self._estimates: dict[int, float] = {}
         self._backlog_s = 0.0
@@ -135,10 +142,12 @@ class RequestQueue:
             raise QueueFullError(reason)
 
     def _estimate(self, request: ServeRequest) -> float:
-        # Only price requests when a backlog bound actually consumes
-        # the estimate — the estimator may factorize a never-seen
-        # matrix, which must not happen on the unbounded fast path.
-        if self._estimator is None or self.policy.max_backlog_s is None:
+        # Only price requests when something actually consumes the
+        # estimate (a backlog bound, or a price_always consumer like
+        # brownout) — the estimator may factorize a never-seen matrix,
+        # which must not happen on the unbounded fast path.
+        if self._estimator is None or (self.policy.max_backlog_s is None
+                                       and not self._price_always):
             return 0.0
         return float(self._estimator(request))
 

@@ -97,6 +97,11 @@ class ServeRequest:
     deadline_s: float | None = None
     arrival_s: float = 0.0
     arrival_wall: float = 0.0
+    #: Checkpointed CG state (:class:`~repro.batch.CheckpointState`)
+    #: to resume from — set by the scheduler's retry path when it
+    #: re-enqueues a corrupted/crashed request; ``None`` solves from
+    #: scratch.
+    restore: object | None = None
 
     def sort_key(self) -> tuple:
         return (self.priority, self.arrival_s, self.req_id)

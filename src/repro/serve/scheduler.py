@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from heapq import heappop, heappush
 
 import numpy as np
@@ -41,7 +41,9 @@ import numpy as np
 from ..core.spcg import make_preconditioner
 from ..errors import QueueFullError
 from ..machine.device import A100, DeviceModel, get_device
-from ..machine.kernels import estimate_request_seconds, iteration_cost_batched
+from ..machine.kernels import (estimate_request_seconds,
+                               iteration_cost_batched, time_abft_check,
+                               time_checkpoint, time_residual_check)
 from ..obs.metrics import get_metrics
 from ..obs.trace import get_recorder
 from ..perf.cache import ArtifactCache
@@ -49,12 +51,21 @@ from ..perf.fingerprint import matrix_fingerprint
 from ..solvers.result import TerminationReason
 from ..solvers.stopping import StoppingCriterion
 from ..sparse.csr import CSRMatrix
-from ..batch.block import SlotDecision, pcg_block
+from ..batch.block import SlotDecision, VerifyConfig, pcg_block
+from .healing import (BreakerPolicy, BrownoutPolicy, CircuitBreaker,
+                      RetryPolicy, precond_ladder)
 from .queue import AdmissionPolicy, RequestQueue
 from .request import RequestStatus, ServeOutcome, ServeRequest, validate_rhs
 
 __all__ = ["BatchingWindow", "DispatchRecord", "ServeReport",
            "ServeScheduler", "percentile"]
+
+#: Failure reasons worth a checkpointed retry: the iterate is gone or
+#: untrustworthy, but a re-run (from the last verified checkpoint, or
+#: from scratch) can still produce the answer.
+_RETRYABLE_REASONS = (TerminationReason.CORRUPTED,
+                      TerminationReason.DEVICE_CRASH,
+                      TerminationReason.NUMERICAL_BREAKDOWN)
 
 
 def percentile(values, q: float) -> float:
@@ -64,6 +75,19 @@ def percentile(values, q: float) -> float:
         return float("nan")
     rank = max(1, math.ceil(q / 100.0 * len(vals)))
     return vals[min(rank, len(vals)) - 1]
+
+
+def _fmt(v: float, spec: str) -> str:
+    """Render a metric for the SLO table; NaN (empty underlying set —
+    no completions, no dispatches) renders as ``n/a``, never ``nan``."""
+    v = float(v)
+    return "n/a" if math.isnan(v) else format(v, spec)
+
+
+def _json_num(v: float) -> float | None:
+    """NaN-free JSON: undefined aggregates serialize as ``null``."""
+    v = float(v)
+    return None if math.isnan(v) else v
 
 
 @dataclass(frozen=True)
@@ -121,6 +145,13 @@ class DispatchRecord:
     capacity: int = 1
     modeled_seconds: float = 0.0
     wall_seconds: float = 0.0
+    #: Preconditioner kind this block actually ran with (may sit below
+    #: the configured kind when the fingerprint's circuit breaker is
+    #: open or the server is browned out).
+    kind: str = ""
+    #: Whether the dispatch was made under overload brownout (loosened
+    #: tolerance / downgraded preconditioner).
+    browned_out: bool = False
     #: The underlying block result and the preconditioner it ran with
     #: (``SolverService.flush`` rebuilds its legacy
     #: :class:`~repro.batch.GroupReport` from these without touching
@@ -189,6 +220,26 @@ class ServeReport:
     def n_deadline_met(self) -> int:
         return sum(1 for o in self.outcomes if o.deadline_met)
 
+    @property
+    def n_retried(self) -> int:
+        """Requests that needed at least one retry dispatch."""
+        return sum(1 for o in self.outcomes
+                   if o.extra.get("attempts", 0) > 0)
+
+    @property
+    def n_recovered(self) -> int:
+        """Requests that resumed from a verified checkpoint."""
+        return sum(1 for o in self.outcomes
+                   if o.extra.get("recovered", 0) > 0)
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Deadline-met completions over all submissions (NaN when no
+        requests were submitted) — the chaos suite's headline number."""
+        if not self.outcomes:
+            return float("nan")
+        return self.n_deadline_met / self.n_requests
+
     # -- rates ---------------------------------------------------------
     @property
     def throughput_rps(self) -> float:
@@ -237,18 +288,21 @@ class ServeReport:
             ("completed", f"{self.n_completed}"),
             ("shed", f"{self.n_shed} ({shed_txt})"),
             ("cancelled mid-solve", f"{self.n_cancelled}"),
+            ("retried", f"{self.n_retried}"),
+            ("recovered from checkpoint", f"{self.n_recovered}"),
             ("deadline met (goodput)", f"{self.n_deadline_met}"),
             ("makespan [model s]", f"{self.makespan_s:.6f}"),
-            ("throughput [req/model s]", f"{self.throughput_rps:.1f}"),
-            ("goodput [req/model s]", f"{self.goodput_rps:.1f}"),
-            ("mean batch occupancy", f"{self.mean_occupancy:.3f}"),
+            ("throughput [req/model s]", _fmt(self.throughput_rps, ".1f")),
+            ("goodput [req/model s]", _fmt(self.goodput_rps, ".1f")),
+            ("mean batch occupancy", _fmt(self.mean_occupancy, ".3f")),
         ]
         for q in (50, 95, 99):
             rows.append((f"p{q} latency [model s]",
-                         f"{self.latency_percentile(q):.6f}"))
+                         _fmt(self.latency_percentile(q), ".6f")))
         for q in (50, 95, 99):
             rows.append((f"p{q} latency [wall s]",
-                         f"{self.latency_percentile(q, clock='wall'):.6f}"))
+                         _fmt(self.latency_percentile(q, clock="wall"),
+                              ".6f")))
         width = max(len(k) for k, _ in rows)
         lines = [f"| {'metric'.ljust(width)} | value |",
                  f"| {'-' * width} | ----- |"]
@@ -263,15 +317,19 @@ class ServeReport:
             "n_shed": self.n_shed,
             "n_cancelled": self.n_cancelled,
             "shed_by_reason": self.shed_by_reason,
+            "n_retried": self.n_retried,
+            "n_recovered": self.n_recovered,
             "n_deadline_met": self.n_deadline_met,
             "makespan_s": self.makespan_s,
-            "throughput_rps": self.throughput_rps,
-            "goodput_rps": self.goodput_rps,
-            "mean_occupancy": self.mean_occupancy,
+            "throughput_rps": _json_num(self.throughput_rps),
+            "goodput_rps": _json_num(self.goodput_rps),
+            "goodput_fraction": _json_num(self.goodput_fraction),
+            "mean_occupancy": _json_num(self.mean_occupancy),
             "latency_modeled_s": {
-                f"p{q}": self.latency_percentile(q) for q in (50, 95, 99)},
+                f"p{q}": _json_num(self.latency_percentile(q))
+                for q in (50, 95, 99)},
             "latency_wall_s": {
-                f"p{q}": self.latency_percentile(q, clock="wall")
+                f"p{q}": _json_num(self.latency_percentile(q, clock="wall"))
                 for q in (50, 95, 99)},
             "n_dispatches": len(self.dispatches),
         }
@@ -297,6 +355,27 @@ class ServeScheduler:
         never-before-seen fingerprint for the backlog predicate (the
         per-fingerprint EWMA of observed service times takes over after
         the first dispatch).
+    retry:
+        :class:`~repro.serve.healing.RetryPolicy` — arms the block
+        solver's ABFT/true-residual detectors, checkpoints verified
+        columns at iteration boundaries, and re-dispatches corrupted /
+        crashed / broken-down requests from their last checkpoint after
+        exponential backoff.  ``None`` disables detection and retries
+        (the fail-fast baseline).
+    breaker:
+        :class:`~repro.serve.healing.BreakerPolicy` — per-fingerprint
+        circuit breaker; repeated failures downgrade the fingerprint's
+        dispatches down the preconditioner ladder (kind → ic0 →
+        jacobi), sustained success closes it back up.
+    brownout:
+        :class:`~repro.serve.healing.BrownoutPolicy` — when modeled
+        backlog-seconds crosses the threshold, dispatches run with
+        loosened tolerances (and optionally a preconditioner downgrade)
+        until the backlog drains: accuracy is shed instead of requests.
+    chaos:
+        A :class:`~repro.chaos.ChaosPlan` (or duck type) injecting
+        seeded device faults at iteration boundaries — stalls, crashes,
+        transient and silent kernel corruption.
     on_complete:
         ``on_complete(outcome)`` called as each request reaches a
         terminal state — the closed-loop load generator submits its
@@ -321,6 +400,10 @@ class ServeScheduler:
                  policy: AdmissionPolicy | None = None,
                  window: BatchingWindow | None = None,
                  prior_iters: int = 100,
+                 retry: RetryPolicy | None = None,
+                 breaker: BreakerPolicy | None = None,
+                 brownout: BrownoutPolicy | None = None,
+                 chaos=None,
                  on_complete=None):
         self.kind = preconditioner
         self.k = int(k)
@@ -337,8 +420,18 @@ class ServeScheduler:
         if prior_iters < 1:
             raise ValueError("prior_iters must be positive")
         self.prior_iters = int(prior_iters)
+        self.retry = retry
+        self.breaker_policy = breaker
+        self.brownout_policy = brownout
+        #: Fault injector (:class:`~repro.chaos.ChaosPlan` duck type:
+        #: ``poll`` / ``wrap_matrix`` / ``wrap_preconditioner`` /
+        #: ``config``); ``None`` serves on a healthy device.
+        self.chaos = chaos
         self.on_complete = on_complete
-        self.queue = RequestQueue(policy, estimator=self._estimate_seconds)
+        # Brownout needs the backlog priced even when no backlog-based
+        # admission bound is set.
+        self.queue = RequestQueue(policy, estimator=self._estimate_seconds,
+                                  price_always=brownout is not None)
 
         self._clock = 0.0
         self._t0_wall = time.perf_counter()
@@ -353,6 +446,12 @@ class ServeScheduler:
         self._dispatches: list[DispatchRecord] = []
         self._ewma_per_rhs: dict[str, float] = {}
         self._first_arrival: float | None = None
+        self._ladder = precond_ladder(self.kind)
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._brownout_active = False
+        self._attempts: dict[int, int] = {}
+        self._recovered: dict[int, int] = {}
+        self._checkpoints: dict[int, object] = {}
 
     # -- clock / introspection -----------------------------------------
     @property
@@ -425,6 +524,13 @@ class ServeScheduler:
             self._shed(self._requests[req_id], "cancelled",
                        kind="queue_cancel")
             return True
+        if self._status.get(req_id) is RequestStatus.QUEUED:
+            # Awaiting a deferred arrival or a retry backoff: shed now,
+            # exactly once — the stale heap entry is tombstoned by the
+            # outcome and skipped when it pops.
+            self._shed(self._requests[req_id], "cancelled",
+                       kind="queue_cancel")
+            return True
         return False
 
     # -- admission -----------------------------------------------------
@@ -494,6 +600,71 @@ class ServeScheduler:
         self._ewma_per_rhs[fingerprint] = per_rhs_s if prev is None \
             else 0.5 * prev + 0.5 * per_rhs_s
 
+    # -- self-healing state --------------------------------------------
+    def _breaker(self, fp: str) -> CircuitBreaker | None:
+        if self.breaker_policy is None:
+            return None
+        brk = self._breakers.get(fp)
+        if brk is None:
+            brk = CircuitBreaker(self.breaker_policy, len(self._ladder))
+            self._breakers[fp] = brk
+        return brk
+
+    def _breaker_failure(self, fp: str) -> None:
+        brk = self._breaker(fp)
+        if brk is not None and brk.record_failure(self._clock):
+            get_metrics().inc("serve.breaker_open")
+            rec = get_recorder()
+            if rec.enabled:
+                rec.emit("breaker_open", fingerprint=fp, rung=brk.rung,
+                         kind=self._ladder[brk.rung], t_model=self._clock)
+
+    def _breaker_success(self, fp: str) -> None:
+        brk = self._breaker(fp)
+        if brk is not None and brk.record_success(self._clock):
+            get_metrics().inc("serve.breaker_close")
+            rec = get_recorder()
+            if rec.enabled:
+                rec.emit("breaker_close", fingerprint=fp, rung=brk.rung,
+                         kind=self._ladder[brk.rung], t_model=self._clock)
+
+    def _update_brownout(self) -> bool:
+        """Re-evaluate the overload-brownout mode against the queue's
+        modeled backlog (hysteresis); traces every transition."""
+        pol = self.brownout_policy
+        if pol is None:
+            return False
+        backlog = self.queue.backlog_seconds()
+        flipped = None
+        if not self._brownout_active and backlog > pol.enter_backlog_s:
+            self._brownout_active = flipped = True
+        elif self._brownout_active and backlog < pol.exit_backlog_s:
+            self._brownout_active = False
+            flipped = False
+        if flipped is not None:
+            metrics = get_metrics()
+            metrics.inc("serve.brownout_entered" if flipped
+                        else "serve.brownout_exited")
+            metrics.gauge("serve.brownout", 1.0 if flipped else 0.0)
+            rec = get_recorder()
+            if rec.enabled:
+                rec.emit("brownout", active=flipped, backlog_s=backlog,
+                         tolerance_factor=pol.tolerance_factor,
+                         downgrade=pol.downgrade, t_model=self._clock)
+        return self._brownout_active
+
+    def _effective_kind(self, fp: str, browned: bool) -> str:
+        """Preconditioner rung for this dispatch: configured kind,
+        pushed down the ladder by an open breaker and/or brownout."""
+        rung = 0
+        brk = self._breakers.get(fp)
+        if brk is not None:
+            rung = brk.rung
+        if browned and self.brownout_policy is not None \
+                and self.brownout_policy.downgrade:
+            rung += 1
+        return self._ladder[min(rung, len(self._ladder) - 1)]
+
     # -- event processing ----------------------------------------------
     def _process_due_events(self, active: set | None = None
                             ) -> list[tuple[int, TerminationReason]]:
@@ -505,6 +676,8 @@ class ServeScheduler:
         """
         while self._arrivals and self._arrivals[0][0] <= self._clock:
             _, _, req = heappop(self._arrivals)
+            if req.req_id in self._outcomes:
+                continue  # cancelled while awaiting arrival/retry
             self._enqueue_or_shed(req)
         for req in self.queue.expire(self._clock):
             self._shed(req, "deadline_queued")
@@ -520,6 +693,13 @@ class ServeScheduler:
                            kind="queue_cancel")
             elif active is not None and rid in active:
                 cancels.append((rid, TerminationReason.CANCELLED))
+            elif self._status.get(rid) is RequestStatus.QUEUED:
+                # Not in the queue, not running: the request is waiting
+                # in the arrivals heap (deferred submission or retry
+                # backoff).  Shed it exactly once here; its heap entry
+                # is now tombstoned by the outcome.
+                self._shed(self._requests[rid], "cancelled",
+                           kind="queue_cancel")
         return cancels
 
     def _next_event_time(self) -> float | None:
@@ -589,14 +769,36 @@ class ServeScheduler:
             members = members[:self.window.max_batch]
         self.queue.take(members)
         a = members[0].a
-        m = make_preconditioner(a, self.kind, k=self.k, cache=self.cache)
+        browned = self._update_brownout()
+        kind = self._effective_kind(fp, browned)
+        m = make_preconditioner(a, kind, k=self.k, cache=self.cache)
+        crit = self.criterion
+        if browned and self.brownout_policy.tolerance_factor > 1.0:
+            f = self.brownout_policy.tolerance_factor
+            crit = replace(crit, rtol=crit.rtol * f, atol=crit.atol * f)
+        verify_cfg = None
+        if self.retry is not None:
+            verify_cfg = VerifyConfig(
+                abft=self.retry.abft, abft_rtol=self.retry.abft_rtol,
+                residual_check_every=self.retry.checkpoint_every,
+                residual_rtol=self.retry.residual_rtol)
+        # Fault injection rides on operator wrappers; pricing always
+        # sees the true operators.
+        a_run = a if self.chaos is None else self.chaos.wrap_matrix(a)
+        m_run = m if self.chaos is None \
+            else self.chaos.wrap_preconditioner(m)
+        # Members resuming from a checkpoint (the retry path) join at
+        # the first iteration boundary via the slot hook; fresh members
+        # (including from-scratch retries) form the initial block.
+        fresh = [r for r in members if r.restore is None]
+        pending_resume = [r for r in members if r.restore is not None]
         t_dispatch = self._clock
         metrics = get_metrics()
         rec = get_recorder()
         if rec.enabled:
             rec.emit("batch_start", fingerprint=fp, batch=len(members),
-                     n=a.n_rows, nnz=a.nnz, preconditioner=self.kind,
-                     t_model=t_dispatch)
+                     n=a.n_rows, nnz=a.nnz, preconditioner=kind,
+                     browned_out=browned, t_model=t_dispatch)
         for req in members:
             self._status[req.req_id] = RequestStatus.RUNNING
             self._dispatch_clock[req.req_id] = t_dispatch
@@ -608,6 +810,8 @@ class ServeScheduler:
                          mid_block=False)
         metrics.gauge("serve.queue_depth", self.queue.depth)
 
+        n = a.n_rows
+        abft_on = verify_cfg is not None and verify_cfg.abft
         cost_cache: dict[int, float] = {}
 
         def cost_of(width: int) -> float:
@@ -615,11 +819,14 @@ class ServeScheduler:
             if c is None:
                 c = iteration_cost_batched(self.device, a, m,
                                            batch=width).total
+                if abft_on:
+                    # The checksum reduction rides on every verified
+                    # block SpMV.
+                    c += time_abft_check(self.device, n, width)
                 cost_cache[width] = c
             return c
 
         capacity = self.window.max_batch
-        crit = self.criterion
         clock_after: dict[int, float] = {0: t_dispatch}
         widths: list[int] = []
         prev_width = 0
@@ -627,14 +834,73 @@ class ServeScheduler:
         n_timed_out = 0
         n_cancelled = 0
 
-        def hook(sweep: int, active_keys: tuple) -> SlotDecision | None:
-            nonlocal prev_width, n_admitted, n_timed_out, n_cancelled
+        def hook(sweep: int, active_keys: tuple,
+                 view=None) -> SlotDecision | None:
+            nonlocal prev_width, n_admitted, n_timed_out, n_cancelled, \
+                pending_resume
             if sweep >= 2:
                 # Price the sweep that just ran at its actual width.
                 self._clock += cost_of(prev_width)
                 clock_after[sweep - 1] = self._clock
                 widths.append(prev_width)
             active = set(active_keys)
+            # Boundary verification that just ran inside the block:
+            # price the true-residual recomputations and checkpoint
+            # every column proven consistent.
+            if view is not None and verify_cfg is not None:
+                n_checked = len(view.verified) + sum(
+                    1 for d in view.detected if d["method"] == "residual")
+                if n_checked:
+                    self._clock += time_residual_check(self.device, a,
+                                                       batch=n_checked)
+                captured = [key for key in view.verified if key in active]
+                for key in captured:
+                    self._checkpoints[key] = view.capture(key)
+                if captured:
+                    self._clock += time_checkpoint(self.device, n,
+                                                   batch=len(captured))
+                    metrics.inc("serve.checkpoints", len(captured))
+                    if rec.enabled:
+                        rec.emit("checkpoint", fingerprint=fp,
+                                 sweep=sweep, keys=list(captured),
+                                 t_model=self._clock)
+            # Chaos: at most one fault fires per boundary.  Transient
+            # and SDC faults arm the wrapped operators — they land on
+            # the *next* sweep's kernels, never on the detectors, which
+            # already ran for this boundary.  Stalls and crashes act on
+            # the clock and working set right here.
+            if self.chaos is not None:
+                event = self.chaos.poll(sweep)
+                if event is not None:
+                    fkind = event.kind.value
+                    metrics.inc("chaos.faults")
+                    metrics.inc(f"chaos.faults.{fkind}")
+                    if rec.enabled:
+                        rec.emit("fault_injected", kind=fkind,
+                                 sweep=sweep, fingerprint=fp,
+                                 t_model=self._clock)
+                    if fkind == "stall":
+                        self._clock += self.chaos.config.stall_seconds
+                    elif fkind == "crash":
+                        # The device dies: every resident column is
+                        # lost (DEVICE_CRASH → checkpointed retry), the
+                        # block ends, and the restart penalty is paid.
+                        # Resumes not yet admitted re-arrive for the
+                        # next dispatch instead of vanishing.
+                        self._clock += \
+                            self.chaos.config.crash_restart_seconds
+                        for req in pending_resume:
+                            self._status[req.req_id] = \
+                                RequestStatus.QUEUED
+                            heappush(self._arrivals,
+                                     (self._clock, req.req_id, req))
+                        pending_resume = []
+                        crash = [(rid, TerminationReason.DEVICE_CRASH)
+                                 for rid in active_keys]
+                        n_cancelled += len(crash)
+                        prev_width = 0
+                        return SlotDecision(cancel=crash) if crash \
+                            else None
             cancels = self._process_due_events(active)
             n_cancelled += len(cancels)
             cancelled_ids = {rid for rid, _ in cancels}
@@ -649,7 +915,20 @@ class ServeScheduler:
                     cancelled_ids.add(rid)
                     n_timed_out += 1
             n_alive = len(active) - len(cancelled_ids)
-            admits: list[tuple[int, np.ndarray]] = []
+            admits: list[tuple] = []
+            # Checkpoint resumes join at the first boundary; they were
+            # dispatch members, so capacity already accounts for them.
+            for req in pending_resume:
+                admits.append((req.req_id, req.b, req.restore))
+                self._recovered[req.req_id] = \
+                    self._recovered.get(req.req_id, 0) + 1
+                metrics.inc("serve.restarts")
+                if rec.enabled:
+                    rec.emit("restart", req_id=req.req_id,
+                             fingerprint=fp, sweep=sweep,
+                             from_iter=req.restore.iters,
+                             t_model=self._clock)
+            pending_resume = []
             if self.window.continuous:
                 for req in self.queue.group(fp):
                     if capacity is not None \
@@ -670,12 +949,14 @@ class ServeScheduler:
                 if admits:
                     metrics.gauge("serve.queue_depth", self.queue.depth)
             # Entering width of the sweep about to run: survivors plus
-            # admits that will actually occupy a slot (a b whose norm
-            # already meets the criterion converges at admission).
+            # admits that will actually occupy a slot (a column already
+            # inside its threshold converges at admission).
             width = n_alive
-            for _, b_new in admits:
-                bn = float(np.linalg.norm(b_new))
-                if not crit.is_met(bn, bn):
+            for item in admits:
+                bn = float(np.linalg.norm(item[1]))
+                state = item[2] if len(item) > 2 else None
+                rn = float(state.history[-1]) if state is not None else bn
+                if not crit.is_met(rn, bn):
                     width += 1
             prev_width = width
             if cancels or admits:
@@ -683,9 +964,11 @@ class ServeScheduler:
             return None
 
         wall0 = self._wall()
-        block = pcg_block(a, np.column_stack([r.b for r in members]), m,
-                          criterion=crit, slot_hook=hook,
-                          keys=[r.req_id for r in members])
+        b0 = (np.column_stack([r.b for r in fresh]) if fresh
+              else np.zeros((a.n_rows, 0)))
+        block = pcg_block(a_run, b0, m_run, criterion=crit,
+                          slot_hook=hook, keys=[r.req_id for r in fresh],
+                          verify=verify_cfg)
         wall_block = self._wall() - wall0
 
         sv = block.extra["serve"]
@@ -700,7 +983,8 @@ class ServeScheduler:
             n_timed_out=n_timed_out, n_cancelled=n_cancelled,
             sweeps=sweeps, widths=widths, capacity=cap,
             modeled_seconds=t_end - t_dispatch,
-            wall_seconds=wall_block, block=block, preconditioner=m)
+            wall_seconds=wall_block, block=block, preconditioner=m,
+            kind=kind, browned_out=browned)
         self._dispatches.append(record)
 
         latencies = []
@@ -709,6 +993,36 @@ class ServeScheduler:
             req = self._requests[rid]
             res = block.column(pos)
             t_done = clock_after.get(int(died[pos]), t_dispatch)
+            if res.reason in _RETRYABLE_REASONS:
+                self._breaker_failure(fp)
+            if (self.retry is not None
+                    and res.reason in _RETRYABLE_REASONS
+                    and self._attempts.get(rid, 0)
+                    < self.retry.max_retries):
+                # Checkpointed retry: the request re-arrives after
+                # exponential backoff, resuming from its last verified
+                # checkpoint (from scratch when none exists yet).  No
+                # outcome is recorded — the request is still live; a
+                # cancel or deadline landing during the backoff sheds
+                # it exactly once via the due-event path.
+                attempt = self._attempts.get(rid, 0) + 1
+                self._attempts[rid] = attempt
+                delay = self.retry.backoff_s(attempt)
+                req.restore = self._checkpoints.get(rid)
+                self._status[rid] = RequestStatus.QUEUED
+                heappush(self._arrivals, (self._clock + delay, rid, req))
+                metrics.inc("serve.retry_scheduled")
+                metrics.inc(f"serve.retry.{res.reason.value}")
+                metrics.observe("serve.retry_backoff_s", delay)
+                if rec.enabled:
+                    rec.emit("retry", req_id=rid, fingerprint=fp,
+                             attempt=attempt, reason=res.reason.value,
+                             backoff_s=delay,
+                             from_iter=(req.restore.iters
+                                        if req.restore is not None
+                                        else 0),
+                             t_model=self._clock)
+                continue
             if res.reason in (TerminationReason.TIMED_OUT,
                               TerminationReason.CANCELLED):
                 status = RequestStatus.CANCELLED
@@ -716,8 +1030,12 @@ class ServeScheduler:
             else:
                 status = RequestStatus.COMPLETED
                 metrics.inc("serve.completed")
+                if self.retry is not None \
+                        and res.reason in _RETRYABLE_REASONS:
+                    metrics.inc("serve.retries_exhausted")
             if res.converged:
                 n_conv += 1
+                self._breaker_success(fp)
             out = ServeOutcome(
                 req_id=rid, tag=req.tag, status=status,
                 fingerprint=fp, result=res, priority=req.priority,
@@ -725,8 +1043,12 @@ class ServeScheduler:
                 t_dispatch=self._dispatch_clock[rid],
                 t_complete=t_done,
                 wall_s=self._wall() - req.arrival_wall)
+            out.extra["attempts"] = self._attempts.get(rid, 0)
+            out.extra["recovered"] = self._recovered.get(rid, 0)
             self._status[rid] = status
             self._outcomes[rid] = out
+            self._checkpoints.pop(rid, None)
+            req.restore = None
             latencies.append(t_done - self._dispatch_clock[rid])
             metrics.observe("serve.latency_modeled_s", out.latency_s)
             metrics.observe("serve.latency_wall_s", out.wall_s)
@@ -742,9 +1064,11 @@ class ServeScheduler:
                      block_iters=block.block_iters, converged=n_conv,
                      modeled_seconds=record.modeled_seconds,
                      modeled_seconds_per_rhs=(
-                         record.modeled_seconds / len(keys)),
+                         record.modeled_seconds / max(1, len(keys))),
                      occupancy=record.occupancy, sweeps=sweeps,
                      admitted_mid_block=n_admitted, t_model=t_end)
         if self.on_complete is not None:
             for rid in keys:
-                self.on_complete(self._outcomes[rid])
+                out = self._outcomes.get(rid)
+                if out is not None:  # retried columns are still live
+                    self.on_complete(out)

@@ -30,6 +30,13 @@ class TerminationReason(enum.Enum):
     #: The caller cancelled the request mid-solve (explicit
     #: :meth:`repro.serve.ServeScheduler.cancel`, not a deadline).
     CANCELLED = "cancelled"
+    #: A corruption detector (ABFT checksum / residual drift) caught
+    #: silent data corruption in this column; the iterate is not
+    #: trustworthy past its last verified checkpoint.
+    CORRUPTED = "corrupted"
+    #: The (modeled) device crashed mid-block; every resident column is
+    #: frozen with this reason and may be restarted from a checkpoint.
+    DEVICE_CRASH = "device_crash"
 
 
 @dataclass

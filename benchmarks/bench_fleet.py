@@ -1,0 +1,152 @@
+"""Fleet capacity: devices × rps sweep, plus communication pricing.
+
+Not a paper figure — the fleet-scaling trajectory for the ROADMAP's
+heavy-traffic north star.  A fixed open-loop Poisson workload over a
+pool of distinct fingerprints is served by fleets of N ∈ {1, 2, 4}
+modeled devices at several arrival rates; at the saturating rate the
+sweep must show real scaling (N=4 throughput ≥ 2× N=1) with zero
+unexplained drops.  A second table prices one CG iteration for
+``pcg`` / ``pipelined`` / ``s_step`` across fleet widths and asserts
+the communication-reduced variants expose strictly less allreduce time
+whenever the link latency is nonzero, and that the fleet-path solutions
+match sequential ``pcg`` within 1e-8.  The machine-readable summary
+lands in ``results/BENCH_fleet.json``.
+"""
+
+import json
+
+import numpy as np
+from conftest import RESULTS_DIR, _scale, emit
+
+from repro.core.spcg import make_preconditioner
+from repro.fleet import (FleetScheduler, comm_iteration_cost,
+                         run_fleet_loadgen)
+from repro.harness import render_table
+from repro.machine import A100, NVLINK
+from repro.perf.cache import ArtifactCache
+from repro.serve import LoadSpec
+from repro.solvers import pcg
+from repro.sparse import random_spd
+
+SEED = 12345
+DEVICES = (1, 2, 4)
+#: The high rate saturates every fleet width (arrivals effectively
+#: instantaneous next to service time) — that is where scaling with N
+#: must show; the low rate exercises the queued regime.
+RATES = (2e3, 1e6)
+
+
+def _workload():
+    if _scale() == "tiny":
+        n_mats, n, n_requests = 8, 48, 32
+    else:
+        n_mats, n, n_requests = 16, 80, 64
+    mats = [random_spd(n, density=0.06, seed=100 + s)
+            for s in range(n_mats)]
+    return mats, n_requests
+
+
+def _run(mats, n_requests, n_devices, rate):
+    fleet = FleetScheduler(n_devices=n_devices, preconditioner="jacobi",
+                           hot_threshold=8, cache=ArtifactCache())
+    report = run_fleet_loadgen(
+        fleet, mats, LoadSpec(n_requests=n_requests, rate_rps=rate,
+                              seed=SEED))
+    return fleet, report
+
+
+def test_fleet_capacity_sweep(benchmark):
+    mats, n_requests = _workload()
+    summary = {"seed": SEED, "n_requests": n_requests,
+               "link": NVLINK.name, "sweep": {}, "comm_cost": {}}
+    rows = []
+    saturated = {}
+    for rate in RATES:
+        for n_dev in DEVICES:
+            fleet, rep = _run(mats, n_requests, n_dev, rate)
+            # Zero unexplained drops: everything completes (admission
+            # is unbounded here, so any loss would be a scheduler bug).
+            assert rep.n_completed == n_requests
+            assert rep.n_shed == 0
+            key = f"rate={rate:g}/N={n_dev}"
+            summary["sweep"][key] = {
+                "n_devices": n_dev, "rate_rps": rate,
+                "throughput_rps": rep.throughput_rps,
+                "p50_modeled_s": rep.latency_percentile(50),
+                "p99_modeled_s": rep.latency_percentile(99),
+                "mean_occupancy": rep.mean_occupancy,
+                "routes_by_device": rep.routes_by_device,
+                "n_replicated": rep.n_replicated,
+            }
+            rows.append([f"{rate:g}", f"{n_dev}",
+                         f"{rep.throughput_rps:.0f}",
+                         f"{1e3 * rep.latency_percentile(50):.2f}",
+                         f"{1e3 * rep.latency_percentile(99):.2f}",
+                         f"{rep.mean_occupancy:.3f}",
+                         "/".join(str(c) for c in rep.routes_by_device)])
+            if rate == max(RATES):
+                saturated[n_dev] = rep.throughput_rps
+            del fleet
+    # The acceptance bar: real scaling at saturating load.
+    scaling = saturated[4] / saturated[1]
+    summary["saturated_scaling_4x_over_1x"] = scaling
+    assert scaling >= 2.0, f"N=4 only {scaling:.2f}x over N=1"
+
+    # Fleet-path solutions must match sequential pcg within 1e-8:
+    # replay a handful of requests through both paths.
+    rng = np.random.default_rng(SEED)
+    checked = 0
+    for i in range(6):
+        a = mats[i % len(mats)]
+        b = rng.standard_normal(a.n_rows)
+        single = FleetScheduler(n_devices=4, preconditioner="jacobi",
+                                cache=ArtifactCache())
+        fid = single.submit(a, b, arrival_s=0.0)
+        single.run()
+        got = single.outcome(fid).result
+        ref = pcg(a, b, make_preconditioner(a, "jacobi"))
+        assert got.converged and ref.converged
+        err = float(np.max(np.abs(got.x - ref.x)))
+        assert err < 1e-8, err
+        checked += 1
+    summary["fleet_vs_pcg_checked"] = checked
+
+    # Communication pricing across fleet widths.
+    a = mats[0]
+    m = make_preconditioner(a, "jacobi")
+    cost_rows = []
+    for n_dev in DEVICES:
+        entry = {}
+        base = comm_iteration_cost(A100, NVLINK, n_dev, a, m,
+                                   variant="pcg")
+        for variant, s in (("pcg", 1), ("pipelined", 1), ("s_step", 2),
+                           ("s_step", 4)):
+            c = comm_iteration_cost(A100, NVLINK, n_dev, a, m,
+                                    variant=variant, s=s)
+            label = variant if variant != "s_step" else f"s_step(s={s})"
+            entry[label] = {"exposed_s": c.exposed,
+                            "allreduce_s": c.allreduce,
+                            "total_s": c.total}
+            if n_dev > 1 and variant != "pcg":
+                # Strictly fewer allreduce-sync seconds per iteration
+                # than standard pcg at nonzero link latency.
+                assert c.exposed < base.exposed, (variant, s, n_dev)
+            cost_rows.append([f"{n_dev}", label, f"{c.exposed:.3e}",
+                              f"{c.allreduce:.3e}", f"{c.total:.3e}"])
+        summary["comm_cost"][f"N={n_dev}"] = entry
+
+    benchmark(lambda: _run(mats, n_requests, 4, max(RATES)))
+
+    table = render_table(
+        ["rate", "N", "thrpt", "p50 (ms)", "p99 (ms)", "occ",
+         "routes/dev"],
+        rows, title="Fleet — devices × rps capacity sweep "
+                    "(open-loop Poisson, modeled clock)")
+    emit("fleet_capacity.txt", table)
+    cost_table = render_table(
+        ["N", "variant", "exposed (s)", "allreduce (s)", "total (s)"],
+        cost_rows, title="Per-iteration allreduce cost on the modeled "
+                         "critical path (nvlink)")
+    emit("fleet_comm_cost.txt", cost_table)
+    (RESULTS_DIR / "BENCH_fleet.json").write_text(
+        json.dumps(summary, indent=2) + "\n", encoding="utf-8")

@@ -242,6 +242,72 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    import json
+
+    from .fleet import (FleetScheduler, comm_iteration_cost,
+                        run_fleet_loadgen)
+    from .machine import get_device, get_link
+    from .core.spcg import make_preconditioner
+    from .serve import LoadSpec
+    from .sparse import random_spd
+
+    link = get_link(args.link)
+    device = get_device(args.device)
+    matrices = [random_spd(args.n, density=args.density, seed=s)
+                for s in range(args.matrices)]
+    rows = []
+    with _tracing(args.trace):
+        for n_dev in args.devices:
+            from .perf import ArtifactCache
+
+            fleet = FleetScheduler(
+                n_devices=n_dev, device=device, link=link,
+                hot_threshold=args.hot_threshold,
+                cache=ArtifactCache(), preconditioner=args.precond,
+                k=args.k)
+            spec = LoadSpec(n_requests=args.requests,
+                            rate_rps=args.rate, seed=args.seed)
+            report = run_fleet_loadgen(fleet, matrices, spec)
+            rows.append((n_dev, report))
+            print(f"\n### fleet N={n_dev} "
+                  f"(link={link.name}, {args.requests} req @ "
+                  f"{args.rate:g} rps)")
+            print(report.capacity_table())
+    # Communication-variant pricing at the largest fleet width.
+    n_dev = max(args.devices)
+    a = matrices[0]
+    m = make_preconditioner(a, args.precond, k=args.k)
+    print(f"\n### per-iteration sync cost at N={n_dev} "
+          f"(link={link.name})")
+    print("| variant | exposed allreduce [s] | total [s] |")
+    print("| --- | --- | --- |")
+    costs = {}
+    for variant in ("pcg", "pipelined", "s_step"):
+        c = comm_iteration_cost(device, link, n_dev, a, m,
+                                variant=variant, s=args.s)
+        costs[variant] = c
+        print(f"| {variant} | {c.exposed:.3e} | {c.total:.3e} |")
+    if args.json:
+        summary = {
+            "link": link.name,
+            "device": device.name,
+            "sweep": [{"n_devices": nd, **rep.as_dict()}
+                      for nd, rep in rows],
+            "comm_cost": {v: {"exposed": c.exposed,
+                              "allreduce": c.allreduce,
+                              "compute": c.compute,
+                              "total": c.total}
+                          for v, c in costs.items()},
+        }
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, indent=2)
+        print(f"summary -> {args.json}", file=sys.stderr)
+    bad = [nd for nd, rep in rows if rep.n_completed < rep.n_requests
+           and not rep.n_shed]
+    return 1 if bad else 0
+
+
 def _cmd_report(args) -> int:
     from .obs import render_report_file
 
@@ -417,6 +483,41 @@ def main(argv: list[str] | None = None) -> int:
                    help="record the structured event trace to this "
                         "JSON-lines file (render with `repro report`)")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser("fleet", help="fleet capacity study: devices × "
+                                     "rps sweep with fingerprint "
+                                     "routing and link-cost pricing")
+    p.add_argument("--devices", type=int, nargs="+", default=[1, 2, 4],
+                   help="fleet widths to sweep")
+    p.add_argument("--requests", type=int, default=48)
+    p.add_argument("--rate", type=float, default=1e5,
+                   help="open-loop Poisson arrival rate "
+                        "[requests / modeled second]")
+    p.add_argument("--matrices", type=int, default=12,
+                   help="number of distinct random SPD operators "
+                        "(fingerprint diversity)")
+    p.add_argument("--n", type=int, default=96,
+                   help="order of each random SPD operator")
+    p.add_argument("--density", type=float, default=0.05)
+    p.add_argument("--hot-threshold", type=int, default=3,
+                   dest="hot_threshold",
+                   help="routes before a fingerprint is replicated")
+    p.add_argument("--link", default="nvlink",
+                   help="inter-device link preset "
+                        "(nvlink, pcie4, ib-hdr, zero)")
+    p.add_argument("--s", type=int, default=2,
+                   help="s-step CG block size for the cost table")
+    p.add_argument("--precond", default="jacobi",
+                   choices=["ilu0", "iluk", "ic0", "jacobi"])
+    p.add_argument("--k", type=int, default=1)
+    p.add_argument("--device", default="a100")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", default="", metavar="OUT.JSON",
+                   help="write the sweep summary as JSON")
+    p.add_argument("--trace", default="", metavar="OUT.JSONL",
+                   help="record the structured event trace to this "
+                        "JSON-lines file (render with `repro report`)")
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser("report", help="render the run ledger from a "
                                       "--trace JSON-lines file")

@@ -1,0 +1,64 @@
+"""Fleet layer: N modeled devices, a fingerprint router, link pricing.
+
+The serving layer (:mod:`repro.serve`) simulates one device; the north
+star is heavy traffic from millions of users.  This package scales the
+simulation out:
+
+* :mod:`repro.fleet.router` — fingerprint-affine routing (cold →
+  consistent hash for cache affinity, hot → replicate with
+  least-backlog placement), fully deterministic.
+* :mod:`repro.fleet.scheduler` — :class:`FleetScheduler`, one
+  :class:`~repro.serve.ServeScheduler` per device behind the router,
+  sharing one artifact cache; per-device admission control, continuous
+  batching, healing, chaos, and obs all unchanged.
+* :mod:`repro.fleet.report` — :class:`FleetReport` aggregation with
+  pooled latency percentiles and busy-time-weighted occupancy (the two
+  numbers naive per-device averaging gets wrong).
+* :mod:`repro.fleet.shard` — row-sharding one huge matrix across
+  devices with halo-exchange measurement and :func:`sharded_pcg`.
+* :mod:`repro.fleet.cost` — per-iteration fleet pricing of ``pcg``
+  versus the communication-reduced variants
+  (:func:`~repro.solvers.pipelined_cg`,
+  :func:`~repro.solvers.s_step_cg`), exposing exactly the
+  allreduce-on-the-critical-path seconds each variant removes.
+
+Link costs come from :mod:`repro.machine.link` and are exactly zero at
+``n_devices = 1`` — a one-device fleet prices bitwise like the PR-5
+single server.
+"""
+
+from .cost import VARIANTS, CommIterationCost, comm_iteration_cost
+from .report import FleetReport, fleet_mean_occupancy, pooled_percentile
+from .router import FleetRouter, RouteDecision
+from .scheduler import FleetScheduler, run_fleet_loadgen
+from .shard import (
+    RowShardPlan,
+    ShardInfo,
+    halo_exchange_seconds,
+    partition_rows,
+    plan_row_shards,
+    shard_matrices,
+    shard_matvec,
+    sharded_pcg,
+)
+
+__all__ = [
+    "VARIANTS",
+    "CommIterationCost",
+    "comm_iteration_cost",
+    "FleetReport",
+    "fleet_mean_occupancy",
+    "pooled_percentile",
+    "FleetRouter",
+    "RouteDecision",
+    "FleetScheduler",
+    "run_fleet_loadgen",
+    "RowShardPlan",
+    "ShardInfo",
+    "halo_exchange_seconds",
+    "partition_rows",
+    "plan_row_shards",
+    "shard_matrices",
+    "shard_matvec",
+    "sharded_pcg",
+]

@@ -22,6 +22,17 @@ observations of Section 5.3.
 """
 
 from .device import DeviceModel, A100, V100, EPYC_7413, get_device
+from .link import (
+    LinkModel,
+    NVLINK,
+    PCIE4,
+    IB_HDR,
+    ZERO_LINK,
+    get_link,
+    time_point_to_point,
+    time_allreduce,
+    time_halo_exchange,
+)
 from .kernels import (
     IterationCost,
     estimate_request_seconds,
@@ -51,6 +62,15 @@ __all__ = [
     "V100",
     "EPYC_7413",
     "get_device",
+    "LinkModel",
+    "NVLINK",
+    "PCIE4",
+    "IB_HDR",
+    "ZERO_LINK",
+    "get_link",
+    "time_point_to_point",
+    "time_allreduce",
+    "time_halo_exchange",
     "IterationCost",
     "estimate_request_seconds",
     "iteration_cost",

@@ -3,7 +3,7 @@
 ``repro report t.jsonl`` calls :func:`render_report`; the pure
 :func:`summarize_trace` returns the same information as a dict for
 programmatic use (the tests assert on it, CI renders it into the step
-summary).  The ledger has four sections:
+summary).  The ledger's sections:
 
 * **per-matrix phase table** — one row per ``experiment_end`` event:
   modeled sparsify/factorization/iteration seconds per variant, iteration
@@ -16,6 +16,9 @@ summary).  The ledger has four sections:
   dispatch count, mid-block admissions and sweep-weighted mean batch
   occupancy from the ``queue_*``/``admit``/``shed``/``batch_end``
   stream;
+* **fleet** — routing decisions per device and per policy
+  (hash/replicate) from the ``route`` stream, plus sharded-solve counts
+  and modeled communication seconds from ``shard_solve``;
 * **failures** — taxonomy over failed experiment variants and fallback
   attempts, plus guard-trip and fallback-recovery counts;
 * **chaos / self-healing** — injected faults by kind, corruption
@@ -62,6 +65,8 @@ def summarize_trace(events: Sequence[TraceEvent]) -> dict:
     chaos = {"faults": {}, "detections": {}, "checkpoints": 0,
              "restarts": 0, "retries": 0, "breaker_opens": 0,
              "breaker_closes": 0, "brownouts": 0}
+    fleet = {"routed": 0, "by_device": {}, "by_policy": {},
+             "shard_solves": 0, "shard_comm_seconds": 0.0}
     occ_num = occ_den = 0.0
 
     for ev in events:
@@ -138,6 +143,17 @@ def summarize_trace(events: Sequence[TraceEvent]) -> dict:
         elif ev.kind == "brownout":
             if p.get("active"):
                 chaos["brownouts"] += 1
+        elif ev.kind == "route":
+            fleet["routed"] += 1
+            dev = p.get("device", "?")
+            fleet["by_device"][dev] = fleet["by_device"].get(dev, 0) + 1
+            policy = p.get("policy", "?")
+            fleet["by_policy"][policy] = \
+                fleet["by_policy"].get(policy, 0) + 1
+        elif ev.kind == "shard_solve":
+            fleet["shard_solves"] += 1
+            fleet["shard_comm_seconds"] += float(
+                p.get("comm_seconds_total", 0.0))
 
     for slot in cache.values():
         n = slot["hits"] + slot["misses"]
@@ -153,6 +169,7 @@ def summarize_trace(events: Sequence[TraceEvent]) -> dict:
         "cache": cache,
         "serving": serving,
         "chaos": chaos,
+        "fleet": fleet,
         "failure_taxonomy": dict(sorted(taxonomy.items(),
                                         key=lambda kv: (-kv[1], kv[0]))),
         "guard_trips": guard_trips,
@@ -240,6 +257,21 @@ def render_report(events: Sequence[TraceEvent]) -> str:
             shed_txt = ", ".join(f"{k}×{v}" for k, v in
                                  sorted(srv["shed"].items()))
             out.append(f"  shed: {shed_txt}")
+
+    fl = s["fleet"]
+    if fl["routed"] or fl["shard_solves"]:
+        out.append("")
+        out.append("## fleet")
+        if fl["routed"]:
+            dev_txt = ", ".join(f"dev{d}×{c}" for d, c in
+                                sorted(fl["by_device"].items()))
+            pol_txt = ", ".join(f"{k}×{v}" for k, v in
+                                sorted(fl["by_policy"].items()))
+            out.append(f"  routed {fl['routed']}  ({dev_txt})")
+            out.append(f"  policy: {pol_txt}")
+        if fl["shard_solves"]:
+            out.append(f"  sharded solves {fl['shard_solves']}  "
+                       f"modeled comm {fl['shard_comm_seconds']:.3g}s")
 
     ch = s["chaos"]
     if (ch["faults"] or ch["detections"] or ch["retries"]

@@ -90,6 +90,7 @@ EVENT_KINDS = (
     "queue_enqueue", "queue_cancel", "admit", "shed",
     "fault_injected", "checksum_fail", "checkpoint", "restart",
     "retry", "breaker_open", "breaker_close", "brownout",
+    "route", "shard_solve",
 )
 
 

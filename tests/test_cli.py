@@ -124,6 +124,42 @@ class TestServeCommand:
         assert "continuous=False" in out
 
 
+class TestFleetCommand:
+    def test_fleet_prints_capacity_tables(self, capsys):
+        rc = main(["fleet", "--devices", "1", "2", "--requests", "10",
+                   "--rate", "1e5", "--matrices", "4", "--n", "48",
+                   "--precond", "jacobi"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "### fleet N=1" in out and "### fleet N=2" in out
+        assert "| fleet |" in out
+        assert "per-iteration sync cost" in out
+        assert "| pipelined |" in out and "| s_step |" in out
+
+    def test_fleet_json_and_trace(self, tmp_path, capsys):
+        import json
+
+        summary = tmp_path / "fleet.json"
+        trace = tmp_path / "fleet.jsonl"
+        rc = main(["fleet", "--devices", "1", "2", "--requests", "8",
+                   "--rate", "1e5", "--matrices", "4", "--n", "48",
+                   "--precond", "jacobi", "--json", str(summary),
+                   "--trace", str(trace)])
+        assert rc == 0
+        data = json.loads(summary.read_text())
+        assert [row["n_devices"] for row in data["sweep"]] == [1, 2]
+        assert all(row["n_completed"] == 8 for row in data["sweep"])
+        exposed = data["comm_cost"]
+        assert exposed["pipelined"]["exposed"] < exposed["pcg"]["exposed"]
+        assert exposed["s_step"]["exposed"] < exposed["pcg"]["exposed"]
+        # The trace renders a fleet section in the report ledger.
+        capsys.readouterr()
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "## fleet" in out
+        assert "routed" in out
+
+
 class TestTraceAndReport:
     def test_solve_trace_writes_jsonl(self, tmp_path, capsys):
         from repro.obs import load_jsonl

@@ -1,0 +1,119 @@
+"""Fleet routing determinism, pinned by a golden trace.
+
+Identical seed + arrival trace must give an identical per-device
+assignment sequence and an identical (modeled-clock) fleet report —
+routing has no RNG and no wall-clock dependence.  The golden fixture
+(``tests/golden/fleet_route_trace.json``) freezes both; regenerate
+after an *intentional* routing/serving change with::
+
+    PYTHONPATH=src python tests/test_fleet_golden.py --regen
+
+Wall-clock figures are excluded from the golden — they are the one
+nondeterministic surface of a report.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.fleet import FleetScheduler, run_fleet_loadgen
+from repro.perf.cache import ArtifactCache
+from repro.serve import LoadSpec
+from repro.sparse import random_spd
+
+GOLDEN = Path(__file__).parent / "golden" / "fleet_route_trace.json"
+
+#: The frozen scenario: 4 devices, 8 distinct fingerprints, 40 Poisson
+#: arrivals at a rate that queues work, hot threshold low enough that
+#: repeated fingerprints cross into replication.
+SCENARIO = dict(n_devices=4, n_mats=8, n=64, density=0.08,
+                n_requests=40, rate_rps=2e4, hot_threshold=3, seed=12345)
+
+
+def run_scenario():
+    mats = [random_spd(SCENARIO["n"], density=SCENARIO["density"],
+                       seed=100 + s) for s in range(SCENARIO["n_mats"])]
+    fleet = FleetScheduler(n_devices=SCENARIO["n_devices"],
+                           hot_threshold=SCENARIO["hot_threshold"],
+                           preconditioner="jacobi",
+                           cache=ArtifactCache())
+    report = run_fleet_loadgen(
+        fleet, mats, LoadSpec(n_requests=SCENARIO["n_requests"],
+                              rate_rps=SCENARIO["rate_rps"],
+                              seed=SCENARIO["seed"]))
+    return report
+
+
+def serialize(report) -> dict:
+    """Golden payload: the assignment sequence + the modeled report."""
+    return {
+        "scenario": SCENARIO,
+        "routes": [r.as_dict() for r in report.routes],
+        "report": report.as_dict(),
+    }
+
+
+def _assert_close(got, want, path=""):
+    if isinstance(want, dict):
+        assert set(got) == set(want), path
+        for key in want:
+            _assert_close(got[key], want[key], f"{path}.{key}")
+    elif isinstance(want, list):
+        assert len(got) == len(want), path
+        for i, (g, w) in enumerate(zip(got, want)):
+            _assert_close(g, w, f"{path}[{i}]")
+    elif isinstance(want, float) and not math.isnan(want):
+        assert got == pytest.approx(want, rel=1e-9, abs=1e-12), \
+            f"{path}: {got} != {want}"
+    elif isinstance(want, float):
+        assert isinstance(got, float) and math.isnan(got), path
+    else:
+        assert got == want, f"{path}: {got} != {want}"
+
+
+class TestRoutingDeterminism:
+    def test_identical_runs_identical_assignments(self):
+        r1 = run_scenario()
+        r2 = run_scenario()
+        assert [d.as_dict() for d in r1.routes] == \
+            [d.as_dict() for d in r2.routes]
+        assert r1.as_dict() == r2.as_dict()
+        # Per-device outcome streams match on the modeled clock too.
+        for d1, d2 in zip(r1.device_reports, r2.device_reports):
+            for o1, o2 in zip(d1.outcomes, d2.outcomes):
+                assert o1.req_id == o2.req_id
+                assert o1.t_complete == o2.t_complete
+                if o1.result is not None:
+                    assert np.array_equal(o1.result.x, o2.result.x)
+
+    def test_matches_golden_trace(self):
+        assert GOLDEN.exists(), \
+            "golden missing; regenerate with --regen"
+        want = json.loads(GOLDEN.read_text())
+        got = serialize(run_scenario())
+        _assert_close(got, want)
+
+    def test_golden_covers_both_policies(self):
+        want = json.loads(GOLDEN.read_text())
+        policies = {r["policy"] for r in want["routes"]}
+        assert policies == {"hash", "replicate"}
+        assert want["report"]["n_completed"] == SCENARIO["n_requests"]
+
+    def test_golden_has_no_wall_clock_fields(self):
+        text = GOLDEN.read_text()
+        assert "wall" not in text
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(json.dumps(serialize(run_scenario()),
+                                     indent=2) + "\n")
+        print(f"wrote {GOLDEN}")
+    else:
+        print("usage: python tests/test_fleet_golden.py --regen")

@@ -1,0 +1,211 @@
+"""Machine-model invariants for the inter-device link layer.
+
+The fleet's pricing rests on three exact properties: allreduce cost is
+monotone in device count and message size, every link term is exactly
+zero at N=1 (a one-device fleet prices bitwise like the PR-5 single
+server), and a cut-free row partition exchanges exactly zero halo."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DeviceModelError
+from repro.fleet import (FleetScheduler, halo_exchange_seconds,
+                         partition_rows, plan_row_shards, shard_matvec,
+                         sharded_pcg)
+from repro.machine import (IB_HDR, NVLINK, PCIE4, ZERO_LINK, LinkModel,
+                           get_link, time_allreduce, time_halo_exchange,
+                           time_point_to_point)
+from repro.perf.cache import ArtifactCache
+from repro.serve import ServeScheduler
+from repro.solvers import StoppingCriterion, pcg
+from repro.sparse import CSRMatrix, random_spd, stencil_poisson_2d
+
+LINKS = (NVLINK, PCIE4, IB_HDR)
+
+
+def _block_diag(blocks):
+    """Block-diagonal CSRMatrix from dense SPD blocks."""
+    n = sum(b.shape[0] for b in blocks)
+    indptr = [0]
+    indices = []
+    data = []
+    off = 0
+    for blk in blocks:
+        k = blk.shape[0]
+        for i in range(k):
+            cols = np.nonzero(blk[i])[0]
+            indices.extend((cols + off).tolist())
+            data.extend(blk[i, cols].tolist())
+            indptr.append(len(indices))
+        off += k
+    return CSRMatrix(np.array(indptr), np.array(indices),
+                     np.array(data, dtype=float), (n, n))
+
+
+class TestAllreduceInvariants:
+    @given(st.sampled_from(LINKS), st.integers(1, 64), st.integers(1, 64),
+           st.floats(0, 1e8))
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_device_count(self, link, n1, n2, nbytes):
+        lo, hi = sorted((n1, n2))
+        assert time_allreduce(link, lo, nbytes) <= \
+            time_allreduce(link, hi, nbytes)
+
+    @given(st.sampled_from(LINKS), st.integers(1, 64),
+           st.floats(0, 1e8), st.floats(0, 1e8))
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_message_size(self, link, n, b1, b2):
+        lo, hi = sorted((b1, b2))
+        assert time_allreduce(link, n, lo) <= time_allreduce(link, n, hi)
+
+    @given(st.sampled_from(LINKS), st.integers(2, 64),
+           st.floats(1.0, 1e8))
+    @settings(max_examples=40, deadline=None)
+    def test_strictly_positive_beyond_one_device(self, link, n, nbytes):
+        assert time_allreduce(link, n, nbytes) > 0.0
+
+    @given(st.sampled_from(LINKS + (ZERO_LINK,)), st.floats(0, 1e9))
+    @settings(max_examples=40, deadline=None)
+    def test_single_device_is_exactly_zero(self, link, nbytes):
+        assert time_allreduce(link, 1, nbytes) == 0.0
+
+    def test_point_to_point(self):
+        assert time_point_to_point(NVLINK, 0) == NVLINK.latency
+        assert time_point_to_point(NVLINK, 300e9) == pytest.approx(
+            NVLINK.latency + 1.0)
+
+    def test_validation(self):
+        with pytest.raises(DeviceModelError):
+            LinkModel(name="bad", latency=-1e-6, bandwidth=1e9)
+        with pytest.raises(DeviceModelError):
+            LinkModel(name="bad", latency=0.0, bandwidth=0.0)
+        with pytest.raises(DeviceModelError):
+            time_allreduce(NVLINK, 0, 8)
+        with pytest.raises(ValueError):
+            time_allreduce(NVLINK, 2, -1)
+
+    def test_get_link_presets_and_aliases(self):
+        assert get_link("nvlink") is NVLINK
+        assert get_link("IB") is IB_HDR
+        assert get_link("pcie") is PCIE4
+        with pytest.raises(DeviceModelError):
+            get_link("token-ring")
+
+
+class TestHaloInvariants:
+    def test_no_messages_is_exactly_zero(self):
+        assert time_halo_exchange(NVLINK, 0, 0) == 0.0
+        with pytest.raises(ValueError):
+            time_halo_exchange(NVLINK, 0, 64)
+
+    def test_block_diagonal_partition_has_zero_halo(self):
+        rng = np.random.default_rng(3)
+        blocks = []
+        for _ in range(4):
+            m = rng.standard_normal((8, 8))
+            blocks.append(m @ m.T + 8 * np.eye(8))
+        a = _block_diag(blocks)
+        plan = plan_row_shards(a, 4)  # bounds align with the blocks
+        assert not plan.has_cut_edges
+        assert plan.max_halo_values == 0
+        assert plan.max_halo_messages == 0
+        for link in LINKS:
+            assert halo_exchange_seconds(plan, link) == 0.0
+
+    def test_misaligned_partition_pays(self):
+        a = stencil_poisson_2d(8)
+        plan = plan_row_shards(a, 4)
+        assert plan.has_cut_edges
+        assert halo_exchange_seconds(plan, NVLINK) > 0.0
+
+    def test_single_shard_zero(self):
+        a = stencil_poisson_2d(6)
+        plan = plan_row_shards(a, 1)
+        assert plan.max_halo_values == 0
+        assert halo_exchange_seconds(plan, NVLINK) == 0.0
+
+    def test_partition_rows_balanced(self):
+        bounds = partition_rows(10, 3)
+        assert bounds == (0, 4, 7, 10)
+        with pytest.raises(ValueError):
+            partition_rows(2, 3)
+
+    def test_shard_matvec_matches_fused_kernel(self):
+        a = random_spd(90, density=0.07, seed=5)
+        plan = plan_row_shards(a, 4)
+        x = np.random.default_rng(1).standard_normal(90)
+        np.testing.assert_allclose(shard_matvec(a, plan, x), a.matvec(x),
+                                   rtol=1e-12, atol=1e-12)
+
+
+class TestShardedSolve:
+    def test_iterates_bitwise_pcg_any_shard_count(self):
+        a = stencil_poisson_2d(10)
+        b = np.random.default_rng(2).standard_normal(a.n_rows)
+        crit = StoppingCriterion(rtol=1e-10, atol=0.0, max_iters=500)
+        ref = pcg(a, b, criterion=crit)
+        for n_shards in (1, 2, 4):
+            res = sharded_pcg(a, b, n_shards=n_shards, link=NVLINK,
+                              criterion=crit)
+            assert np.array_equal(ref.x, res.x)
+            assert np.array_equal(ref.residual_norms, res.residual_norms)
+
+    def test_single_shard_comm_exactly_zero(self):
+        a = stencil_poisson_2d(6)
+        b = np.ones(a.n_rows)
+        res = sharded_pcg(a, b, n_shards=1, link=IB_HDR)
+        shard = res.extra["shard"]
+        assert shard["comm_seconds_per_iter"] == 0.0
+        assert shard["comm_seconds_total"] == 0.0
+
+    def test_multi_shard_comm_positive_and_reported(self):
+        a = stencil_poisson_2d(8)
+        b = np.ones(a.n_rows)
+        res = sharded_pcg(a, b, n_shards=4, link=NVLINK)
+        shard = res.extra["shard"]
+        assert shard["comm_seconds_per_iter"] > 0.0
+        assert shard["comm_seconds_total"] == pytest.approx(
+            res.n_iters * shard["comm_seconds_per_iter"])
+
+
+class TestSingleDeviceFleetBitwise:
+    def test_fleet_of_one_prices_like_bare_scheduler(self):
+        """N=1 fleet report must be bitwise the single-server report
+        on every modeled field (wall clocks excluded — nondeterminism
+        is exactly why goldens strip them)."""
+        mats = [random_spd(48, density=0.1, seed=s) for s in (1, 2)]
+        rng = np.random.default_rng(9)
+        reqs = [(mats[i % 2], rng.standard_normal(48), 0.001 * i)
+                for i in range(10)]
+
+        bare = ServeScheduler(preconditioner="jacobi",
+                              cache=ArtifactCache())
+        for a, b, t in reqs:
+            bare.submit(a, b, arrival_s=t)
+        ref = bare.run()
+
+        fleet = FleetScheduler(n_devices=1, preconditioner="jacobi",
+                               cache=ArtifactCache())
+        for a, b, t in reqs:
+            fleet.submit(a, b, arrival_s=t)
+        rep = fleet.run()
+
+        assert rep.n_devices == 1
+        dev = rep.device_reports[0]
+        assert dev.makespan_s == ref.makespan_s
+        assert rep.makespan_s == ref.makespan_s
+        assert rep.throughput_rps == ref.throughput_rps
+        assert rep.mean_occupancy == ref.mean_occupancy
+        for q in (50, 95, 99):
+            assert rep.latency_percentile(q) == ref.latency_percentile(q)
+        ref_d = ref.as_dict()
+        dev_d = dev.as_dict()
+        for key, val in ref_d.items():
+            if key == "latency_wall_s":
+                continue
+            assert dev_d[key] == val, key
+        # Outcome-level: identical modeled completion times per request.
+        for o_ref, o_dev in zip(ref.outcomes, dev.outcomes):
+            assert o_ref.t_complete == o_dev.t_complete
+            assert np.array_equal(o_ref.result.x, o_dev.result.x)

@@ -34,23 +34,33 @@ from ..solvers.stopping import StoppingCriterion
 from ..sparse.csr import CSRMatrix
 from .wavefront_aware import SparsificationDecision, wavefront_aware_sparsify
 
-__all__ = ["SPCGResult", "spcg", "make_preconditioner"]
+__all__ = ["SPCGResult", "spcg", "make_preconditioner", "PRECISIONS"]
 
 _PRECONDITIONERS = ("ilu0", "iluk", "ic0", "jacobi")
 
 
+#: Accepted values of the ``precision`` knob (mixed = float32 factors,
+#: float64 outer iteration).
+PRECISIONS = ("float64", "mixed")
+
+
 def _build_preconditioner(a: CSRMatrix, kind: str, *, k: int,
                           raise_on_zero_pivot: bool, pivot_boost: float,
-                          shift: float) -> Preconditioner:
+                          shift: float, engine: str = "levels",
+                          n_parts: int | None = None,
+                          device=None) -> Preconditioner:
     if kind == "ilu0":
         return ILU0Preconditioner(a, raise_on_zero_pivot=raise_on_zero_pivot,
-                                  pivot_boost=pivot_boost)
+                                  pivot_boost=pivot_boost, engine=engine,
+                                  n_parts=n_parts, device=device)
     if kind == "iluk":
         return ILUKPreconditioner(a, k=k,
                                   raise_on_zero_pivot=raise_on_zero_pivot,
-                                  pivot_boost=pivot_boost)
+                                  pivot_boost=pivot_boost, engine=engine,
+                                  n_parts=n_parts, device=device)
     if kind == "ic0":
-        return IC0Preconditioner(a, shift=shift)
+        return IC0Preconditioner(a, shift=shift, engine=engine,
+                                 n_parts=n_parts, device=device)
     return JacobiPreconditioner(a)
 
 
@@ -58,6 +68,10 @@ def make_preconditioner(a: CSRMatrix, kind: str, *, k: int = 1,
                         raise_on_zero_pivot: bool = False,
                         pivot_boost: float = 1e-8,
                         shift: float = 0.0,
+                        precision: str = "float64",
+                        engine: str = "levels",
+                        n_parts: int | None = None,
+                        device=None,
                         cache: ArtifactCache | bool | None = None
                         ) -> Preconditioner:
     """Factory for the preconditioners SPCG supports.
@@ -69,6 +83,14 @@ def make_preconditioner(a: CSRMatrix, kind: str, *, k: int = 1,
     ladder flips it to ``True`` so zero pivots are *classified*, then
     escalates ``pivot_boost`` (ILU family) or the Manteuffel diagonal
     ``shift`` (IC(0)) on the retry.
+
+    ``precision="mixed"`` factorizes a float32 copy of ``a``, producing
+    float32 triangular factors — half the value traffic on the dominant
+    per-iteration kernel — while the outer CG keeps iterating in
+    float64 (upcast happens in ``apply``).  ``engine`` selects the
+    SpTRSV executor (``"levels"``, ``"partitioned"``, or modeled-cost
+    ``"auto"``; see :mod:`repro.precond.engine`), with ``n_parts`` and
+    ``device`` tuning the partitioned candidate.
 
     Results are memoized in the solver-artifact cache under the matrix's
     content fingerprint plus every parameter above, so a grid search
@@ -82,12 +104,19 @@ def make_preconditioner(a: CSRMatrix, kind: str, *, k: int = 1,
     if kind not in _PRECONDITIONERS:
         raise ValueError(f"unknown preconditioner {kind!r}; "
                          f"choose from {_PRECONDITIONERS}")
+    if precision not in PRECISIONS:
+        raise ValueError(f"unknown precision {precision!r}; "
+                         f"choose from {PRECISIONS}")
+    if precision == "mixed":
+        a = CSRMatrix(a.indptr, a.indices, a.data.astype(np.float32),
+                      a.shape, check=False)
 
     def build() -> Preconditioner:
         t0 = time.perf_counter()
         m = _build_preconditioner(
             a, kind, k=k, raise_on_zero_pivot=raise_on_zero_pivot,
-            pivot_boost=pivot_boost, shift=shift)
+            pivot_boost=pivot_boost, shift=shift, engine=engine,
+            n_parts=n_parts, device=device)
         wall = time.perf_counter() - t0
         get_metrics().observe_phase("factorization", wall)
         rec = get_recorder()
@@ -100,7 +129,9 @@ def make_preconditioner(a: CSRMatrix, kind: str, *, k: int = 1,
         return build()
     c = get_cache() if cache is None or cache is True else cache
     key = (matrix_fingerprint(a), kind, int(k), bool(raise_on_zero_pivot),
-           float(pivot_boost), float(shift))
+           float(pivot_boost), float(shift), precision, engine,
+           0 if n_parts is None else int(n_parts),
+           "" if device is None else device.name)
     return c.get_or_compute("preconditioner", key, build)
 
 
@@ -148,6 +179,10 @@ def spcg(a: CSRMatrix, b: np.ndarray, *, preconditioner: str = "ilu0",
          callback: Callable[[int, float], None] | None = None,
          raise_on_zero_pivot: bool = False,
          pivot_boost: float = 1e-8,
+         precision: str = "float64",
+         engine: str = "levels",
+         n_parts: int | None = None,
+         device=None,
          fault_plan: "FaultPlan | None" = None,
          cache: ArtifactCache | bool | None = None) -> SPCGResult:
     """Solve ``A x = b`` with the sparsified preconditioned CG of Figure 2.
@@ -181,6 +216,20 @@ def spcg(a: CSRMatrix, b: np.ndarray, *, preconditioner: str = "ilu0",
         so callers (the resilience ladder) can classify and escalate.
     pivot_boost:
         Relative boost magnitude when ``raise_on_zero_pivot=False``.
+    precision:
+        ``"float64"`` (default) or ``"mixed"``: float32 factors with the
+        outer CG iterating in float64 (iterative refinement through the
+        preconditioner).  Mixed solves run under a
+        :class:`~repro.resilience.guards.ResidualGuard` floored at the
+        stopping threshold; if the reduced-precision preconditioner
+        fails to reach the float64 criterion (guard trip, divergence or
+        budget exhaustion), the solve transparently re-runs with full
+        float64 factors warm-started from the best iterate, recorded in
+        ``result.solve.extra["mixed_fallback"]``.
+    engine, n_parts, device:
+        SpTRSV executor selection forwarded to
+        :func:`make_preconditioner` (``"levels"``, ``"partitioned"``,
+        ``"auto"`` — see :mod:`repro.precond.engine`).
     fault_plan:
         Optional :class:`repro.resilience.FaultPlan`; when given, its
         matrix faults corrupt ``Â`` before factorization and its apply
@@ -213,8 +262,41 @@ def spcg(a: CSRMatrix, b: np.ndarray, *, preconditioner: str = "ilu0",
         a_hat = corrupted
     m = make_preconditioner(a_hat, preconditioner, k=k,
                             raise_on_zero_pivot=raise_on_zero_pivot,
-                            pivot_boost=pivot_boost, cache=cache)
+                            pivot_boost=pivot_boost, precision=precision,
+                            engine=engine, n_parts=n_parts, device=device,
+                            cache=cache)
     if fault_plan is not None:
         m = fault_plan.wrap_preconditioner(m, "spcg")
-    solve = pcg(a, b, m, criterion=criterion, x0=x0, callback=callback)
+    if precision != "mixed":
+        solve = pcg(a, b, m, criterion=criterion, x0=x0, callback=callback)
+        return SPCGResult(solve=solve, decision=decision, preconditioner=m)
+
+    # Mixed precision: float32 factors, float64 outer CG.  A residual
+    # guard (floored at the stopping threshold so a converged solve can
+    # never trip) watches for the reduced preconditioner stalling or
+    # diverging; any non-convergence falls back to full float64 factors
+    # warm-started from the best iterate so the mode is never *less*
+    # robust than float64.
+    from ..resilience.guards import GuardConfig, ResidualGuard
+
+    crit = criterion if criterion is not None \
+        else StoppingCriterion.paper_default()
+    floor = crit.threshold(float(np.linalg.norm(b)))
+    guard = ResidualGuard(GuardConfig(floor=floor), chain=callback)
+    solve = pcg(a, b, m, criterion=crit, x0=x0, callback=guard)
+    solve.extra["precision"] = "mixed"
+    if not solve.converged:
+        mixed_iters = solve.n_iters
+        m = make_preconditioner(a_hat, preconditioner, k=k,
+                                raise_on_zero_pivot=raise_on_zero_pivot,
+                                pivot_boost=pivot_boost,
+                                precision="float64", engine=engine,
+                                n_parts=n_parts, device=device, cache=cache)
+        if fault_plan is not None:
+            m = fault_plan.wrap_preconditioner(m, "spcg")
+        x_warm = solve.x if np.all(np.isfinite(solve.x)) else x0
+        solve = pcg(a, b, m, criterion=crit, x0=x_warm, callback=callback)
+        solve.extra["precision"] = "mixed"
+        solve.extra["mixed_fallback"] = True
+        solve.extra["mixed_iterations"] = mixed_iters
     return SPCGResult(solve=solve, decision=decision, preconditioner=m)

@@ -21,6 +21,12 @@ from .levels import (
     level_schedule_reference,
     wavefront_count,
 )
+from .partition import (
+    RowPartition,
+    partition_profiles,
+    partition_rows,
+    split_partition,
+)
 from .stats import WavefrontStats, wavefront_reduction_percent, wavefront_stats
 
 __all__ = [
@@ -32,6 +38,10 @@ __all__ = [
     "level_schedule",
     "level_schedule_reference",
     "wavefront_count",
+    "RowPartition",
+    "partition_rows",
+    "partition_profiles",
+    "split_partition",
     "WavefrontStats",
     "wavefront_stats",
     "wavefront_reduction_percent",

@@ -11,10 +11,14 @@ the statistics every table and figure of the paper reports.
 * :mod:`~repro.harness.report` — ASCII rendering of the paper's
   histograms, scatter plots, bar charts and tables;
 * :mod:`~repro.harness.batch_bench` — multi-RHS batch-scaling study
-  (per-RHS modeled cost vs batch size through the solver service).
+  (per-RHS modeled cost vs batch size through the solver service);
+* :mod:`~repro.harness.precision_study` — float32-factor vs float64
+  comparison (iteration delta and modeled value-traffic ratio).
 """
 
 from .batch_bench import BatchPoint, BatchScalingResult, run_batch_scaling
+from .precision_study import (PrecisionPoint, PrecisionStudyResult,
+                              run_precision_study)
 from .experiment import (
     ExperimentResult,
     MethodMetrics,
@@ -36,6 +40,9 @@ __all__ = [
     "BatchPoint",
     "BatchScalingResult",
     "run_batch_scaling",
+    "PrecisionPoint",
+    "PrecisionStudyResult",
+    "run_precision_study",
     "MethodMetrics",
     "ExperimentResult",
     "run_experiment",

@@ -35,9 +35,11 @@ from .link import (
 )
 from .kernels import (
     IterationCost,
+    ValueTraffic,
     estimate_request_seconds,
     iteration_cost,
     iteration_cost_batched,
+    iteration_value_traffic,
     time_dot,
     time_dot_batched,
     time_axpy,
@@ -47,6 +49,7 @@ from .kernels import (
     time_trisolve,
     time_trisolve_batched,
     time_trisolve_aggregated,
+    time_trisolve_partitioned,
     time_ilu_factorization,
     time_sparsification,
     time_checkpoint,
@@ -72,9 +75,11 @@ __all__ = [
     "time_allreduce",
     "time_halo_exchange",
     "IterationCost",
+    "ValueTraffic",
     "estimate_request_seconds",
     "iteration_cost",
     "iteration_cost_batched",
+    "iteration_value_traffic",
     "time_dot",
     "time_dot_batched",
     "time_axpy",
@@ -84,6 +89,7 @@ __all__ = [
     "time_trisolve",
     "time_trisolve_batched",
     "time_trisolve_aggregated",
+    "time_trisolve_partitioned",
     "time_ilu_factorization",
     "time_sparsification",
     "time_checkpoint",

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from ..errors import DeviceModelError
 
 __all__ = ["DeviceModel", "A100", "V100", "EPYC_7413", "get_device"]
@@ -79,6 +81,12 @@ class DeviceModel:
         """Rows the triangular solver can progress concurrently
         (groups in flight)."""
         return max(1, self.parallel_lanes // self.group_width)
+
+    def bytes_for(self, dtype) -> int:
+        """Bytes per stored value of *dtype* — the per-dtype hook the
+        traffic accounting uses, so mixed-precision factors (float32)
+        are charged half the value bytes of float64 ones."""
+        return int(np.dtype(dtype).itemsize)
 
     def with_precision(self, value_bytes: int) -> "DeviceModel":
         """Same device at a different value width (fp64 ⇒ 8).

@@ -26,12 +26,15 @@ __all__ = [
     "time_dot_batched",
     "time_axpy_batched",
     "time_trisolve_batched",
+    "time_trisolve_partitioned",
     "time_ilu_factorization",
     "time_sparsification",
     "IterationCost",
     "iteration_cost",
     "iteration_cost_batched",
     "estimate_request_seconds",
+    "ValueTraffic",
+    "iteration_value_traffic",
     "time_checkpoint",
     "time_abft_check",
     "time_residual_check",
@@ -54,12 +57,15 @@ def _roofline(dev: DeviceModel, flops: float, bytes_: float,
     return max(t_compute, t_memory, dev.min_kernel_time)
 
 
-def time_spmv(dev: DeviceModel, n_rows: int, nnz: int) -> float:
+def time_spmv(dev: DeviceModel, n_rows: int, nnz: int, *,
+              value_bytes: int | None = None) -> float:
     """CSR SpMV: 2 FLOPs/nnz; streams values+indices once, x gathered,
-    y written."""
+    y written.  ``value_bytes`` overrides the device's default value
+    width (per-dtype traffic, e.g. float32 factors)."""
+    vb = dev.value_bytes if value_bytes is None else int(value_bytes)
     flops = 2.0 * nnz
-    bytes_ = (nnz * (dev.value_bytes + dev.index_bytes)
-              + n_rows * (2 * dev.value_bytes + dev.index_bytes))
+    bytes_ = (nnz * (vb + dev.index_bytes)
+              + n_rows * (2 * vb + dev.index_bytes))
     util = min(1.0, n_rows / dev.row_slots)
     return dev.launch_overhead + _roofline(dev, flops, bytes_, util)
 
@@ -82,7 +88,8 @@ def time_axpy(dev: DeviceModel, n: int) -> float:
 
 
 def time_trisolve(dev: DeviceModel, rows_per_level: np.ndarray,
-                  nnz_per_level: np.ndarray) -> float:
+                  nnz_per_level: np.ndarray, *,
+                  value_bytes: int | None = None) -> float:
     """Level-scheduled sparse triangular solve.
 
     One kernel per wavefront; between consecutive wavefronts a device-wide
@@ -96,7 +103,11 @@ def time_trisolve(dev: DeviceModel, rows_per_level: np.ndarray,
     rows_per_level, nnz_per_level:
         Output of
         :meth:`repro.precond.triangular.ScheduledTriangularSolver.kernel_profile`.
+    value_bytes:
+        Optional per-dtype value width overriding ``dev.value_bytes``
+        (float32 factors halve the dominant kernel's value traffic).
     """
+    vb = dev.value_bytes if value_bytes is None else int(value_bytes)
     rows_per_level = np.asarray(rows_per_level, dtype=np.float64)
     nnz_per_level = np.asarray(nnz_per_level, dtype=np.float64)
     if rows_per_level.shape != nnz_per_level.shape:
@@ -107,8 +118,8 @@ def time_trisolve(dev: DeviceModel, rows_per_level: np.ndarray,
     util = np.minimum(1.0, rows_per_level / dev.row_slots)
     util = np.maximum(util, 1e-9)
     flops = 2.0 * nnz_per_level
-    bytes_ = (nnz_per_level * (dev.value_bytes + dev.index_bytes)
-              + rows_per_level * (2 * dev.value_bytes + dev.index_bytes))
+    bytes_ = (nnz_per_level * (vb + dev.index_bytes)
+              + rows_per_level * (2 * vb + dev.index_bytes))
     t_compute = flops / (dev.peak_flops * util)
     t_memory = bytes_ / (dev.mem_bandwidth * np.minimum(1.0,
                                                         np.sqrt(util) * 4))
@@ -119,14 +130,16 @@ def time_trisolve(dev: DeviceModel, rows_per_level: np.ndarray,
 
 
 def time_spmv_batched(dev: DeviceModel, n_rows: int, nnz: int,
-                      batch: int) -> float:
+                      batch: int, *,
+                      value_bytes: int | None = None) -> float:
     """CSR SpMV against a ``(n, B)`` block: one launch, matrix streamed
     once, per-column vector traffic and FLOPs scaled by ``B``."""
     batch = _check_batch(batch)
+    vb = dev.value_bytes if value_bytes is None else int(value_bytes)
     flops = 2.0 * nnz * batch
-    bytes_ = (nnz * (dev.value_bytes + dev.index_bytes)
+    bytes_ = (nnz * (vb + dev.index_bytes)
               + n_rows * dev.index_bytes
-              + batch * n_rows * 2 * dev.value_bytes)
+              + batch * n_rows * 2 * vb)
     util = min(1.0, n_rows * batch / dev.row_slots)
     return dev.launch_overhead + _roofline(dev, flops, bytes_, util)
 
@@ -153,7 +166,8 @@ def time_axpy_batched(dev: DeviceModel, n: int, batch: int) -> float:
 
 
 def time_trisolve_batched(dev: DeviceModel, rows_per_level: np.ndarray,
-                          nnz_per_level: np.ndarray, batch: int) -> float:
+                          nnz_per_level: np.ndarray, batch: int, *,
+                          value_bytes: int | None = None) -> float:
     """Level-scheduled triangular solve over a ``(n, B)`` block.
 
     This is where multi-RHS batching pays: the per-wavefront launches
@@ -165,6 +179,7 @@ def time_trisolve_batched(dev: DeviceModel, rows_per_level: np.ndarray,
     steeply for wavefront-bound (many narrow levels) factors.
     """
     batch = _check_batch(batch)
+    vb = dev.value_bytes if value_bytes is None else int(value_bytes)
     rows_per_level = np.asarray(rows_per_level, dtype=np.float64)
     nnz_per_level = np.asarray(nnz_per_level, dtype=np.float64)
     if rows_per_level.shape != nnz_per_level.shape:
@@ -175,9 +190,8 @@ def time_trisolve_batched(dev: DeviceModel, rows_per_level: np.ndarray,
     util = np.minimum(1.0, rows_per_level * batch / dev.row_slots)
     util = np.maximum(util, 1e-9)
     flops = 2.0 * nnz_per_level * batch
-    bytes_ = (nnz_per_level * (dev.value_bytes * batch + dev.index_bytes)
-              + rows_per_level * (2 * dev.value_bytes * batch
-                                  + dev.index_bytes))
+    bytes_ = (nnz_per_level * (vb * batch + dev.index_bytes)
+              + rows_per_level * (2 * vb * batch + dev.index_bytes))
     t_compute = flops / (dev.peak_flops * util)
     t_memory = bytes_ / (dev.mem_bandwidth * np.minimum(1.0,
                                                         np.sqrt(util) * 4))
@@ -185,6 +199,106 @@ def time_trisolve_batched(dev: DeviceModel, rows_per_level: np.ndarray,
     return float(n_levels * dev.launch_overhead
                  + (n_levels - 1) * dev.sync_overhead
                  + body.sum())
+
+
+def time_trisolve_partitioned(dev: DeviceModel,
+                              profiles: list,
+                              depth: np.ndarray,
+                              coupling_rows: int,
+                              coupling_nnz: int, *,
+                              batch: int = 1,
+                              internal_sync_fraction: float = 0.15,
+                              value_bytes: int | None = None) -> float:
+    """Domain-decomposition triangular solve (partitioned SpTRSV).
+
+    Execution shape priced here (mirrors
+    :class:`repro.precond.triangular.PartitionedTriangularSolver`):
+
+    * **Round 0** — all ``P`` diagonal sub-triangles solve concurrently,
+      one per thread block.  A round costs one launch plus the *longest*
+      sub-triangle wavefront chain, floored by a work-conservation
+      roofline of the round's total FLOPs/bytes at full utilization.
+      Intra-partition level boundaries are **block-local** syncs priced
+      at ``internal_sync_fraction`` of a device barrier (cooperative
+      groups, same convention as :func:`time_trisolve_aggregated`), and
+      the per-level latency floor shrinks by the same factor — no kernel
+      relaunch at level boundaries.
+    * **Each correction sweep** — two device-wide barriers (round done →
+      coupling SpMV reads ``x`` → refresh reads the product), one
+      coupling SpMV over the fence-crossing entries, and one refresh
+      round over the partitions whose condensed-DAG depth has not been
+      reached.
+
+    Level scheduling pays ``n_levels − 1`` device barriers and
+    ``n_levels`` launches; this engine pays ``2·max(depth)`` barriers
+    and ``1 + sweeps·(2)`` launches — strictly fewer exposed
+    synchronizations whenever the factor is wavefront-deep relative to
+    ``n/P``, which is exactly where sparsification helps least.
+
+    Parameters
+    ----------
+    profiles:
+        Per-partition ``(rows_per_level, nnz_per_level)`` tuples
+        (:meth:`~repro.precond.triangular.PartitionedTriangularSolver.cost_args`).
+    depth:
+        Per-partition correction depth from the condensed partition DAG.
+    coupling_rows, coupling_nnz:
+        Rows / nonzeros of the cross-partition coupling block.
+    """
+    batch = _check_batch(batch)
+    if not (0.0 <= internal_sync_fraction <= 1.0):
+        raise ValueError("internal_sync_fraction must lie in [0, 1]")
+    vb = dev.value_bytes if value_bytes is None else int(value_bytes)
+    depth = np.asarray(depth, dtype=np.int64)
+    n_parts = len(profiles)
+    if n_parts == 0:
+        return 0.0
+    if depth.shape[0] != n_parts:
+        raise ValueError("depth length must match the number of profiles")
+    isf = internal_sync_fraction
+    chain = np.zeros(n_parts)
+    flops_tot = np.zeros(n_parts)
+    bytes_tot = np.zeros(n_parts)
+    for i, (rows, nnz) in enumerate(profiles):
+        rows = np.asarray(rows, dtype=np.float64)
+        nnz = np.asarray(nnz, dtype=np.float64)
+        n_levels = rows.shape[0]
+        if n_levels == 0:
+            continue
+        util = np.maximum(
+            np.minimum(1.0, rows * batch / dev.row_slots), 1e-9)
+        flops = 2.0 * nnz * batch
+        bytes_ = (nnz * (vb * batch + dev.index_bytes)
+                  + rows * (2 * vb * batch + dev.index_bytes))
+        t_compute = flops / (dev.peak_flops * util)
+        t_memory = bytes_ / (dev.mem_bandwidth
+                             * np.minimum(1.0, np.sqrt(util) * 4))
+        body = np.maximum(np.maximum(t_compute, t_memory),
+                          dev.min_kernel_time * isf)
+        chain[i] = (body.sum()
+                    + max(0, n_levels - 1) * dev.sync_overhead * isf)
+        flops_tot[i] = flops.sum()
+        bytes_tot[i] = bytes_.sum()
+
+    def round_time(active: np.ndarray) -> float:
+        if not active.any():
+            return 0.0
+        floor = _roofline(dev, float(flops_tot[active].sum()),
+                          float(bytes_tot[active].sum()), 1.0)
+        return dev.launch_overhead + max(float(chain[active].max()), floor)
+
+    total = round_time(np.ones(n_parts, dtype=bool))
+    n_sweeps = int(depth.max(initial=0))
+    if n_sweeps:
+        spmv = (time_spmv(dev, max(1, coupling_rows), coupling_nnz,
+                          value_bytes=vb)
+                if batch == 1 else
+                time_spmv_batched(dev, max(1, coupling_rows), coupling_nnz,
+                                  batch, value_bytes=vb))
+        for s in range(1, n_sweeps + 1):
+            total += (2.0 * dev.sync_overhead + spmv
+                      + round_time(depth >= s))
+    return float(total)
 
 
 def time_trisolve_aggregated(dev: DeviceModel, rows_per_level: np.ndarray,
@@ -320,23 +434,39 @@ class IterationCost:
         return self.precond_fwd + self.precond_bwd
 
 
+def _time_precond_sweep(dev: DeviceModel, solver, batch: int = 1) -> float:
+    """Price one triangular sweep, dispatching on the executor engine.
+
+    A solver exposing ``cost_args`` (the partitioned executor) is priced
+    by :func:`time_trisolve_partitioned`; otherwise the level-scheduled
+    rule applies — with ``batch == 1`` reproducing :func:`time_trisolve`
+    exactly (the pinned golden numbers).
+    """
+    cost_args = getattr(solver, "cost_args", None)
+    if cost_args is not None:
+        return time_trisolve_partitioned(dev, batch=batch, **cost_args())
+    rows, nnz = solver.kernel_profile()
+    if batch == 1:
+        return time_trisolve(dev, rows, nnz)
+    return time_trisolve_batched(dev, rows, nnz, batch)
+
+
 def iteration_cost(dev: DeviceModel, a: CSRMatrix,
                    preconditioner: Preconditioner) -> IterationCost:
     """Assemble the modeled cost of one PCG iteration.
 
     Uses the preconditioner's wavefront solvers when it exposes them
     (ILU0/ILUK/IC0/SSOR); diagonal preconditioners are priced as one
-    vector op.
+    vector op.  Partitioned-engine solvers are priced by their own rule
+    (see :func:`_time_precond_sweep`).
     """
     n = a.n_rows
     spmv = time_spmv(dev, n, a.nnz)
     solvers = getattr(preconditioner, "solvers", None)
     if solvers is not None:
         fwd, bwd = solvers()
-        rf, nf = fwd.kernel_profile()
-        rb, nb = bwd.kernel_profile()
-        t_fwd = time_trisolve(dev, rf, nf)
-        t_bwd = time_trisolve(dev, rb, nb)
+        t_fwd = _time_precond_sweep(dev, fwd)
+        t_bwd = _time_precond_sweep(dev, bwd)
     else:
         t_fwd = time_axpy(dev, n) if preconditioner.apply_nnz() else 0.0
         t_bwd = 0.0
@@ -366,10 +496,8 @@ def iteration_cost_batched(dev: DeviceModel, a: CSRMatrix,
     solvers = getattr(preconditioner, "solvers", None)
     if solvers is not None:
         fwd, bwd = solvers()
-        rf, nf = fwd.kernel_profile()
-        rb, nb = bwd.kernel_profile()
-        t_fwd = time_trisolve_batched(dev, rf, nf, batch)
-        t_bwd = time_trisolve_batched(dev, rb, nb, batch)
+        t_fwd = _time_precond_sweep(dev, fwd, batch)
+        t_bwd = _time_precond_sweep(dev, bwd, batch)
     else:
         t_fwd = (time_axpy_batched(dev, n, batch)
                  if preconditioner.apply_nnz() else 0.0)
@@ -399,6 +527,49 @@ def estimate_request_seconds(dev: DeviceModel, a: CSRMatrix,
     batch = _check_batch(batch)
     cost = iteration_cost_batched(dev, a, preconditioner, batch)
     return cost.total * float(iters) / batch
+
+
+@dataclass(frozen=True)
+class ValueTraffic:
+    """Per-iteration *value* bytes of Algorithm 1, decomposed by kernel.
+
+    Counts only matrix/factor values and solution-space vectors — the
+    traffic that shrinks when factors are stored in float32 — at the
+    **actual dtype** of each operand (:meth:`DeviceModel.bytes_for`).
+    Index bytes are excluded: they are dtype-invariant and would dilute
+    the mixed-precision ratio this accounting exists to expose.
+    """
+
+    spmv: int
+    precond: int
+    vectors: int
+
+    @property
+    def total(self) -> int:
+        """Value bytes moved per PCG iteration."""
+        return self.spmv + self.precond + self.vectors
+
+
+def iteration_value_traffic(dev: DeviceModel, a: CSRMatrix,
+                            preconditioner: Preconditioner) -> ValueTraffic:
+    """Per-iteration value-byte traffic at the operands' true dtypes.
+
+    The SpMV streams A's values once plus the x gather and y write; the
+    preconditioner streams its factor values once per application (at
+    the factor dtype — the mixed-precision lever) plus its in/out
+    vectors; the vector term covers the three reductions and three
+    AXPYs of Algorithm 1.  Outer-iteration vectors are priced at the
+    solve dtype (float64).
+    """
+    n = a.n_rows
+    f64 = dev.bytes_for(np.float64)
+    spmv = a.nnz * dev.bytes_for(a.dtype) + 2 * n * f64
+    pre_dtype = getattr(preconditioner, "value_dtype", np.float64)
+    precond = (preconditioner.apply_nnz() * dev.bytes_for(pre_dtype)
+               + 4 * n * f64)
+    vectors = (3 * 2 * n + 3 * 3 * n) * f64
+    return ValueTraffic(spmv=int(spmv), precond=int(precond),
+                        vectors=int(vectors))
 
 
 def time_checkpoint(dev: DeviceModel, n: int, batch: int = 1) -> float:

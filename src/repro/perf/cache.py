@@ -37,7 +37,7 @@ from .fingerprint import structure_fingerprint
 
 __all__ = ["CacheStats", "ArtifactCache", "get_cache", "set_cache",
            "use_cache", "cache_stats", "cached_level_schedule",
-           "cached_triangular_solver"]
+           "cached_triangular_solver", "cached_trisolve_plan"]
 
 T = TypeVar("T")
 
@@ -283,4 +283,29 @@ def cached_triangular_solver(tri, *, kind: str = "lower",
         "triangular_solver", key,
         lambda: ScheduledTriangularSolver(
             tri, kind=kind, unit_diagonal=unit_diagonal,
+            schedule=cached_level_schedule(tri, kind=kind, cache=c)))
+
+
+def cached_trisolve_plan(tri, *, kind: str = "lower",
+                         engine: str = "auto",
+                         n_parts: int | None = None,
+                         device=None,
+                         cache: ArtifactCache | None = None):
+    """A :class:`~repro.precond.engine.TrisolvePlan`, memoized by pattern.
+
+    Engine selection prices both executors from kernel profiles — a
+    function of the sparsity structure and the device only — so the
+    plan caches under the structure fingerprint, like the level
+    schedules it is built from.
+    """
+    from ..precond.engine import plan_trisolve
+
+    c = cache if cache is not None else get_cache()
+    key = (structure_fingerprint(tri), kind, engine,
+           0 if n_parts is None else int(n_parts),
+           "" if device is None else device.name)
+    return c.get_or_compute(
+        "trisolve_plan", key,
+        lambda: plan_trisolve(
+            tri, kind=kind, engine=engine, n_parts=n_parts, device=device,
             schedule=cached_level_schedule(tri, kind=kind, cache=c)))

@@ -22,9 +22,16 @@ from .identity import IdentityPreconditioner
 from .jacobi import JacobiPreconditioner
 from .ssor import SSORPreconditioner
 from .triangular import (
+    PartitionedTriangularSolver,
     ScheduledTriangularSolver,
     solve_lower_sequential,
     solve_upper_sequential,
+)
+from .engine import (
+    ENGINES,
+    TrisolvePlan,
+    make_triangular_solver,
+    plan_trisolve,
 )
 from .ilu0 import ILUFactors, ilu0, ILU0Preconditioner
 from .iluk import iluk, iluk_symbolic, ILUKPreconditioner
@@ -37,6 +44,11 @@ __all__ = [
     "JacobiPreconditioner",
     "SSORPreconditioner",
     "ScheduledTriangularSolver",
+    "PartitionedTriangularSolver",
+    "ENGINES",
+    "TrisolvePlan",
+    "make_triangular_solver",
+    "plan_trisolve",
     "solve_lower_sequential",
     "solve_upper_sequential",
     "ILUFactors",

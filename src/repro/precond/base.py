@@ -42,6 +42,14 @@ class Preconditioner(abc.ABC):
         """
 
     # -- cost metadata (overridden by factor-based preconditioners) -------
+    @property
+    def value_dtype(self) -> np.dtype:
+        """Dtype of the stored operator values — the traffic accounting's
+        per-operand hook.  Factor-based preconditioners override this
+        with their factor dtype, so mixed-precision (float32) factors
+        report halved value bytes on the dominant kernel."""
+        return np.dtype(np.float64)
+
     def apply_nnz(self) -> int:
         """Stored nonzeros touched by one application (for cost models)."""
         return self.n

@@ -110,17 +110,34 @@ class IC0Preconditioner(Preconditioner):
 
     name = "ic0"
 
-    def __init__(self, a: CSRMatrix, *, shift: float = 0.0):
+    def __init__(self, a: CSRMatrix, *, shift: float = 0.0,
+                 engine: str = "levels", n_parts: int | None = None,
+                 device=None):
         self.factor = ic0(a, shift=shift)
         self._upper = self.factor.transpose()
-        self._fwd = ScheduledTriangularSolver(self.factor, kind="lower",
-                                              unit_diagonal=False)
-        self._bwd = ScheduledTriangularSolver(self._upper, kind="upper",
-                                              unit_diagonal=False)
+        if engine == "levels":
+            self._fwd = ScheduledTriangularSolver(self.factor, kind="lower",
+                                                  unit_diagonal=False)
+            self._bwd = ScheduledTriangularSolver(self._upper, kind="upper",
+                                                  unit_diagonal=False)
+        else:
+            from .engine import make_triangular_solver
+
+            self._fwd = make_triangular_solver(
+                self.factor, kind="lower", unit_diagonal=False,
+                engine=engine, n_parts=n_parts, device=device)
+            self._bwd = make_triangular_solver(
+                self._upper, kind="upper", unit_diagonal=False,
+                engine=engine, n_parts=n_parts, device=device)
+        self.engine = (self._fwd.engine, self._bwd.engine)
 
     @property
     def n(self) -> int:
         return self.factor.n_rows
+
+    @property
+    def value_dtype(self) -> np.dtype:
+        return np.dtype(self.factor.dtype)
 
     def apply(self, r: np.ndarray, out: np.ndarray | None = None
               ) -> np.ndarray:
@@ -134,7 +151,6 @@ class IC0Preconditioner(Preconditioner):
     def apply_levels(self) -> tuple[int, int]:
         return (self._fwd.n_levels, self._bwd.n_levels)
 
-    def solvers(self) -> tuple[ScheduledTriangularSolver,
-                               ScheduledTriangularSolver]:
-        """The (forward, backward) wavefront solvers, for the cost model."""
+    def solvers(self) -> tuple:
+        """The (forward, backward) triangular solvers, for the cost model."""
         return self._fwd, self._bwd

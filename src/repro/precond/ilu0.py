@@ -225,6 +225,13 @@ class ILU0Preconditioner(Preconditioner):
         sequential reference solvers, useful for validation.
     factors:
         Optionally reuse precomputed :class:`ILUFactors`.
+    engine:
+        SpTRSV executor: ``"levels"`` (default, the original wavefront
+        executor), ``"partitioned"``, or ``"auto"`` (modeled-cost
+        selection per factor via
+        :func:`~repro.precond.engine.make_triangular_solver`).
+    n_parts, device:
+        Partition count / cost-model device for the non-default engines.
     """
 
     name = "ilu0"
@@ -232,7 +239,9 @@ class ILU0Preconditioner(Preconditioner):
     def __init__(self, a: CSRMatrix | None = None, *, scheduled: bool = True,
                  factors: ILUFactors | None = None,
                  raise_on_zero_pivot: bool = True,
-                 pivot_boost: float = 1e-8):
+                 pivot_boost: float = 1e-8,
+                 engine: str = "levels", n_parts: int | None = None,
+                 device=None):
         if factors is None:
             if a is None:
                 raise ValueError("provide either a matrix or factors")
@@ -240,16 +249,34 @@ class ILU0Preconditioner(Preconditioner):
                            pivot_boost=pivot_boost)
         self.factors = factors
         self.scheduled = bool(scheduled)
-        self._fwd = ScheduledTriangularSolver(
-            factors.lower, kind="lower", unit_diagonal=True,
-            schedule=factors.lower_schedule)
-        self._bwd = ScheduledTriangularSolver(
-            factors.upper, kind="upper", unit_diagonal=False,
-            schedule=factors.upper_schedule)
+        if engine == "levels":
+            self._fwd = ScheduledTriangularSolver(
+                factors.lower, kind="lower", unit_diagonal=True,
+                schedule=factors.lower_schedule)
+            self._bwd = ScheduledTriangularSolver(
+                factors.upper, kind="upper", unit_diagonal=False,
+                schedule=factors.upper_schedule)
+        else:
+            from .engine import make_triangular_solver
+
+            self._fwd = make_triangular_solver(
+                factors.lower, kind="lower", unit_diagonal=True,
+                engine=engine, n_parts=n_parts, device=device,
+                schedule=factors.lower_schedule)
+            self._bwd = make_triangular_solver(
+                factors.upper, kind="upper", unit_diagonal=False,
+                engine=engine, n_parts=n_parts, device=device,
+                schedule=factors.upper_schedule)
+        #: Engines the (forward, backward) sweeps resolved to.
+        self.engine = (self._fwd.engine, self._bwd.engine)
 
     @property
     def n(self) -> int:
         return self.factors.n
+
+    @property
+    def value_dtype(self) -> np.dtype:
+        return np.dtype(self.factors.lower.dtype)
 
     def apply(self, r: np.ndarray, out: np.ndarray | None = None
               ) -> np.ndarray:
@@ -273,7 +300,6 @@ class ILU0Preconditioner(Preconditioner):
         return (self.factors.lower_schedule.n_levels,
                 self.factors.upper_schedule.n_levels)
 
-    def solvers(self) -> tuple[ScheduledTriangularSolver,
-                               ScheduledTriangularSolver]:
-        """The (forward, backward) wavefront solvers, for the cost model."""
+    def solvers(self) -> tuple:
+        """The (forward, backward) triangular solvers, for the cost model."""
         return self._fwd, self._bwd

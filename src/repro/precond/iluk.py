@@ -215,7 +215,9 @@ class ILUKPreconditioner(Preconditioner):
     def __init__(self, a: CSRMatrix | None = None, k: int = 1, *,
                  factors: ILUFactors | None = None,
                  raise_on_zero_pivot: bool = True,
-                 pivot_boost: float = 1e-8):
+                 pivot_boost: float = 1e-8,
+                 engine: str = "levels", n_parts: int | None = None,
+                 device=None):
         if factors is None:
             if a is None:
                 raise ValueError("provide either a matrix or factors")
@@ -223,16 +225,33 @@ class ILUKPreconditioner(Preconditioner):
                            pivot_boost=pivot_boost)
         self.factors = factors
         self.k = int(k)
-        self._fwd = ScheduledTriangularSolver(
-            factors.lower, kind="lower", unit_diagonal=True,
-            schedule=factors.lower_schedule)
-        self._bwd = ScheduledTriangularSolver(
-            factors.upper, kind="upper", unit_diagonal=False,
-            schedule=factors.upper_schedule)
+        if engine == "levels":
+            self._fwd = ScheduledTriangularSolver(
+                factors.lower, kind="lower", unit_diagonal=True,
+                schedule=factors.lower_schedule)
+            self._bwd = ScheduledTriangularSolver(
+                factors.upper, kind="upper", unit_diagonal=False,
+                schedule=factors.upper_schedule)
+        else:
+            from .engine import make_triangular_solver
+
+            self._fwd = make_triangular_solver(
+                factors.lower, kind="lower", unit_diagonal=True,
+                engine=engine, n_parts=n_parts, device=device,
+                schedule=factors.lower_schedule)
+            self._bwd = make_triangular_solver(
+                factors.upper, kind="upper", unit_diagonal=False,
+                engine=engine, n_parts=n_parts, device=device,
+                schedule=factors.upper_schedule)
+        self.engine = (self._fwd.engine, self._bwd.engine)
 
     @property
     def n(self) -> int:
         return self.factors.n
+
+    @property
+    def value_dtype(self) -> np.dtype:
+        return np.dtype(self.factors.lower.dtype)
 
     def apply(self, r: np.ndarray, out: np.ndarray | None = None
               ) -> np.ndarray:
@@ -247,7 +266,6 @@ class ILUKPreconditioner(Preconditioner):
         return (self.factors.lower_schedule.n_levels,
                 self.factors.upper_schedule.n_levels)
 
-    def solvers(self) -> tuple[ScheduledTriangularSolver,
-                               ScheduledTriangularSolver]:
-        """The (forward, backward) wavefront solvers, for the cost model."""
+    def solvers(self) -> tuple:
+        """The (forward, backward) triangular solvers, for the cost model."""
         return self._fwd, self._bwd

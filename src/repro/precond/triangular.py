@@ -1,14 +1,26 @@
-"""Sparse triangular solvers: sequential reference and wavefront executor.
+"""Sparse triangular solvers: sequential reference and two GPU executors.
 
 Solving the two triangular systems of the preconditioner application is
-where PCG spends its time on GPUs (Section 2 of the paper).  The
-:class:`ScheduledTriangularSolver` is the executor half of the
-inspector–executor pattern: the inspector (:func:`repro.graph.level_schedule`)
-runs once per factor, the executor then performs **one segmented,
-fully-vectorized kernel per wavefront** — the NumPy analogue of one CUDA
-kernel launch per level, with the inter-level Python step standing in for
-the barrier synchronization.  Fewer wavefronts therefore mean both fewer
-modeled synchronizations *and* measurably less interpreter overhead.
+where PCG spends its time on GPUs (Section 2 of the paper).  Two
+executor strategies are provided, both inspector–executor pattern:
+
+* :class:`ScheduledTriangularSolver` — level scheduling: the inspector
+  (:func:`repro.graph.level_schedule`) runs once per factor, the
+  executor then performs **one segmented, fully-vectorized kernel per
+  wavefront** — the NumPy analogue of one CUDA kernel launch per level,
+  with the inter-level Python step standing in for the barrier
+  synchronization.  Fewer wavefronts therefore mean both fewer modeled
+  synchronizations *and* measurably less interpreter overhead.
+* :class:`PartitionedTriangularSolver` — fine-grained domain
+  decomposition (arXiv 2508.04917): the factor is fenced into ``P``
+  independent diagonal sub-triangles solved concurrently (block-local
+  syncs) plus an off-diagonal coupling block repaired by a block-Jacobi
+  correction loop that terminates exactly after ``max(depth)`` sweeps.
+  On deep-wavefront factors this trades ``n_levels`` device barriers
+  for ``2·n_sweeps`` of them.
+
+:func:`repro.precond.engine.make_triangular_solver` chooses between the
+two from modeled cost.
 """
 
 from __future__ import annotations
@@ -19,6 +31,7 @@ import numpy as np
 
 from ..errors import NotTriangularError, ShapeError, SingularFactorError
 from ..graph.levels import LevelSchedule, level_schedule
+from ..graph.partition import RowPartition, partition_rows, split_partition
 from ..sparse.csr import CSRMatrix
 from ..util import segment_sum
 
@@ -26,11 +39,16 @@ __all__ = [
     "solve_lower_sequential",
     "solve_upper_sequential",
     "ScheduledTriangularSolver",
+    "PartitionedTriangularSolver",
 ]
 
-#: Pivot magnitudes at or below this (relative to the largest pivot) raise
-#: :class:`SingularFactorError` at solver construction.
-_PIVOT_RTOL = 0.0
+#: Default relative pivot tolerance: ``None`` selects the factor dtype's
+#: machine epsilon.  Pivot magnitudes at or below
+#: ``max(rtol · max|pivot|, tiny)`` raise :class:`SingularFactorError`
+#: at solver construction — the ``tiny`` floor rejects denormal pivots
+#: whose reciprocal overflows to inf (a float32 pivot of 1e-40 passes an
+#: exact-zero test yet produces an unusable solver).
+_PIVOT_RTOL: float | None = None
 
 
 def _check_square(t: CSRMatrix) -> int:
@@ -40,64 +58,128 @@ def _check_square(t: CSRMatrix) -> int:
     return t.n_rows
 
 
+def _pivot_threshold(dtype, max_abs_pivot: float,
+                     rtol: float | None) -> float:
+    """Absolute rejection threshold for pivot magnitudes.
+
+    Genuinely relative: ``rtol`` (the dtype's eps when ``None``) scales
+    the largest pivot magnitude; the dtype's smallest normal number is
+    the floor so denormal pivots are always rejected.
+    """
+    fi = np.finfo(np.dtype(dtype))
+    r = float(fi.eps) if rtol is None else float(rtol)
+    return max(r * float(max_abs_pivot), float(fi.tiny))
+
+
+def _summed_diag(tri: CSRMatrix) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row diagonal values (duplicates summed, float64) + presence.
+
+    Summing duplicate diagonal entries is the CSR convention (assembly
+    semantics); both the sequential oracles and the executors use this
+    helper so non-canonical input cannot make them diverge.
+    """
+    n = tri.n_rows
+    rid = np.repeat(np.arange(n, dtype=np.int64), tri.row_lengths())
+    dmask = tri.indices == rid
+    diag = np.zeros(n, dtype=np.float64)
+    np.add.at(diag, rid[dmask], tri.data[dmask].astype(np.float64))
+    present = np.zeros(n, dtype=bool)
+    present[rid[dmask]] = True
+    return diag, present
+
+
+def _pivot_error(row: int, pivot: float, thr: float) -> SingularFactorError:
+    return SingularFactorError(
+        row, pivot,
+        f"pivot magnitude {abs(pivot):.3e} at row {row} is at or below "
+        f"the rejection threshold {thr:.3e} "
+        f"(relative to the largest pivot)")
+
+
 def solve_lower_sequential(lower: CSRMatrix, b: np.ndarray, *,
-                           unit_diagonal: bool = False) -> np.ndarray:
+                           unit_diagonal: bool = False,
+                           pivot_rtol: float | None = _PIVOT_RTOL
+                           ) -> np.ndarray:
     """Forward substitution ``L x = b`` — the executable specification.
 
     Row-by-row Python loop used as the correctness oracle for the
-    wavefront executor and in the property-based tests.
+    wavefront executor and in the property-based tests.  Accumulation
+    happens in ``np.result_type(lower.dtype, b.dtype)`` — the same
+    arithmetic the vectorized executor performs — so float32
+    oracle-vs-executor comparisons exercise float32 arithmetic, not a
+    hidden float64 reference.  Duplicate diagonal entries are summed.
     """
     n = _check_square(lower)
     b = np.asarray(b)
     if b.shape != (n,):
         raise ShapeError(f"b must have shape ({n},)")
-    x = np.zeros(n, dtype=np.result_type(lower.dtype, b.dtype))
+    dtype = np.result_type(lower.dtype, b.dtype)
+    bd = b.astype(dtype, copy=False)
+    x = np.zeros(n, dtype=dtype)
     indptr, indices, data = lower.indptr, lower.indices, lower.data
+    if not unit_diagonal:
+        diag, _ = _summed_diag(lower)
+        thr = _pivot_threshold(lower.dtype,
+                               float(np.abs(diag).max(initial=0.0)),
+                               pivot_rtol)
     for i in range(n):
         cols = indices[indptr[i]:indptr[i + 1]]
         vals = data[indptr[i]:indptr[i + 1]]
         if cols.size and cols[-1] > i:
             raise NotTriangularError(f"entry above diagonal in row {i}")
         below = cols < i
-        acc = float(b[i]) - float(np.dot(vals[below], x[cols[below]]))
+        acc = bd[i] - np.dot(vals[below], x[cols[below]])
         if unit_diagonal:
             x[i] = acc
         else:
             dmask = cols == i
             if not dmask.any():
                 raise SingularFactorError(i, 0.0)
-            d = float(vals[dmask][0])
-            if d == 0.0:
-                raise SingularFactorError(i, d)
+            d = vals[dmask].astype(dtype, copy=False).sum()
+            if abs(d) <= thr:
+                raise _pivot_error(i, float(d), thr)
             x[i] = acc / d
     return x
 
 
 def solve_upper_sequential(upper: CSRMatrix, b: np.ndarray, *,
-                           unit_diagonal: bool = False) -> np.ndarray:
-    """Backward substitution ``U x = b`` — the executable specification."""
+                           unit_diagonal: bool = False,
+                           pivot_rtol: float | None = _PIVOT_RTOL
+                           ) -> np.ndarray:
+    """Backward substitution ``U x = b`` — the executable specification.
+
+    Same accumulation-dtype and duplicate-diagonal conventions as
+    :func:`solve_lower_sequential`.
+    """
     n = _check_square(upper)
     b = np.asarray(b)
     if b.shape != (n,):
         raise ShapeError(f"b must have shape ({n},)")
-    x = np.zeros(n, dtype=np.result_type(upper.dtype, b.dtype))
+    dtype = np.result_type(upper.dtype, b.dtype)
+    bd = b.astype(dtype, copy=False)
+    x = np.zeros(n, dtype=dtype)
     indptr, indices, data = upper.indptr, upper.indices, upper.data
+    if not unit_diagonal:
+        diag, _ = _summed_diag(upper)
+        thr = _pivot_threshold(upper.dtype,
+                               float(np.abs(diag).max(initial=0.0)),
+                               pivot_rtol)
     for i in range(n - 1, -1, -1):
         cols = indices[indptr[i]:indptr[i + 1]]
         vals = data[indptr[i]:indptr[i + 1]]
         if cols.size and cols[0] < i:
             raise NotTriangularError(f"entry below diagonal in row {i}")
         above = cols > i
-        acc = float(b[i]) - float(np.dot(vals[above], x[cols[above]]))
+        acc = bd[i] - np.dot(vals[above], x[cols[above]])
         if unit_diagonal:
             x[i] = acc
         else:
             dmask = cols == i
             if not dmask.any():
                 raise SingularFactorError(i, 0.0)
-            d = float(vals[dmask][0])
-            if d == 0.0:
-                raise SingularFactorError(i, d)
+            d = vals[dmask].astype(dtype, copy=False).sum()
+            if abs(d) <= thr:
+                raise _pivot_error(i, float(d), thr)
             x[i] = acc / d
     return x
 
@@ -118,6 +200,9 @@ class ScheduledTriangularSolver:
     schedule:
         Optional precomputed :class:`LevelSchedule` (the inspector result)
         to reuse; computed on construction otherwise.
+    pivot_rtol:
+        Relative pivot-rejection tolerance (``None`` = the factor
+        dtype's eps); see :data:`_PIVOT_RTOL`.
 
     Notes
     -----
@@ -128,9 +213,13 @@ class ScheduledTriangularSolver:
     machine model.
     """
 
+    #: Engine tag for reporting / auto-selection bookkeeping.
+    engine = "levels"
+
     def __init__(self, tri: CSRMatrix, *, kind: str = "lower",
                  unit_diagonal: bool = False,
-                 schedule: LevelSchedule | None = None):
+                 schedule: LevelSchedule | None = None,
+                 pivot_rtol: float | None = _PIVOT_RTOL):
         if kind not in ("lower", "upper"):
             raise ValueError(f"kind must be 'lower' or 'upper', got {kind!r}")
         n = _check_square(tri)
@@ -154,14 +243,22 @@ class ScheduledTriangularSolver:
                 raise NotTriangularError("entries below the diagonal")
             off_mask = cols > rid
 
-        # Diagonal (reciprocal) with pivot validation.
+        # Diagonal (reciprocal) with pivot validation: duplicates are
+        # summed (matching the sequential oracles) and magnitudes at or
+        # below the relative threshold are rejected — including the
+        # denormal pivots whose float32 reciprocal would overflow to inf.
         if not self.unit_diagonal:
-            dmask = cols == rid
-            diag = np.zeros(n, dtype=np.float64)
-            diag[rid[dmask]] = tri.data[dmask]
-            if np.any(diag == 0.0):
-                row = int(np.flatnonzero(diag == 0.0)[0])
+            diag, present = _summed_diag(tri)
+            if not present.all():
+                row = int(np.flatnonzero(~present)[0])
                 raise SingularFactorError(row, 0.0)
+            thr = _pivot_threshold(tri.dtype,
+                                   float(np.abs(diag).max(initial=0.0)),
+                                   pivot_rtol)
+            bad = np.abs(diag) <= thr
+            if np.any(bad):
+                row = int(np.flatnonzero(bad)[0])
+                raise _pivot_error(row, float(diag[row]), thr)
             self._inv_diag = (1.0 / diag).astype(tri.dtype)
         else:
             self._inv_diag = None
@@ -207,6 +304,11 @@ class ScheduledTriangularSolver:
     def n_levels(self) -> int:
         """Number of wavefronts (≡ synchronizations per solve)."""
         return self.schedule.n_levels
+
+    @property
+    def n_exposed_syncs(self) -> int:
+        """Device-wide barriers per solve (level boundaries)."""
+        return max(0, self.n_levels - 1)
 
     @property
     def nnz(self) -> int:
@@ -348,3 +450,199 @@ class ScheduledTriangularSolver:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"ScheduledTriangularSolver(kind={self.kind!r}, n={self.n}, "
                 f"levels={self.n_levels}, unit_diagonal={self.unit_diagonal})")
+
+
+class PartitionedTriangularSolver:
+    """Domain-decomposition triangular solver (arXiv 2508.04917 style).
+
+    The inspector (:func:`repro.graph.partition.partition_rows`) fences
+    the factor into ``P`` contiguous-row diagonal sub-triangles ``T_p``
+    plus the off-diagonal coupling block ``C``.  :meth:`solve` first
+    solves every ``T_p x_p = b_p`` concurrently (round 0), then runs the
+    block-Jacobi correction loop: sweep *s* computes ``c = C x`` once
+    and refreshes every not-yet-exact partition with
+    ``x_p = T_p⁻¹ (b_p − c_p)``.  Partition *p* is exact after sweep
+    ``depth[p]`` (its level in the condensed partition DAG), so the loop
+    runs exactly ``n_sweeps = max(depth)`` times and the result equals
+    the sequential substitution — no approximation is involved.
+
+    Modeled-cost shape: each sub-triangle runs in one thread block, so
+    its internal level boundaries are block-local syncs; only the
+    ``2·n_sweeps`` barriers around the coupling SpMVs are device-wide.
+    Level scheduling pays ``n_levels − 1`` device barriers instead,
+    which is why this engine wins exactly on deep-wavefront factors
+    (``max_level ≫ n/P``) — the matrices sparsification helps least.
+
+    Parameters
+    ----------
+    tri:
+        Square triangular CSR matrix in canonical form.
+    kind, unit_diagonal:
+        As for :class:`ScheduledTriangularSolver`.
+    n_parts:
+        Requested partition count (clamped to ``[1, n]``); ignored when
+        *partition* is given.
+    partition:
+        Optional precomputed :class:`~repro.graph.partition.RowPartition`.
+    pivot_rtol:
+        Relative pivot-rejection tolerance (``None`` = dtype eps),
+        applied globally across all partitions.
+
+    Notes
+    -----
+    With ``P = 1`` there is no coupling block and the single
+    sub-triangle is the whole factor, so :meth:`solve` is bitwise
+    identical to :class:`ScheduledTriangularSolver` on the same input.
+    """
+
+    engine = "partitioned"
+
+    def __init__(self, tri: CSRMatrix, *, kind: str = "lower",
+                 unit_diagonal: bool = False, n_parts: int = 4,
+                 partition: RowPartition | None = None,
+                 pivot_rtol: float | None = _PIVOT_RTOL):
+        if kind not in ("lower", "upper"):
+            raise ValueError(f"kind must be 'lower' or 'upper', got {kind!r}")
+        n = _check_square(tri)
+        rid = np.repeat(np.arange(n, dtype=np.int64), tri.row_lengths())
+        if kind == "lower":
+            if np.any(tri.indices > rid):
+                raise NotTriangularError("entries above the diagonal")
+        else:
+            if np.any(tri.indices < rid):
+                raise NotTriangularError("entries below the diagonal")
+        self.kind = kind
+        self.unit_diagonal = bool(unit_diagonal)
+        self.n = n
+        self.dtype = tri.dtype
+        # Global pivot validation (threshold relative to the *global*
+        # largest pivot, matching the level-scheduled executor); the
+        # sub-solvers then run with rtol 0 so a locally-small but
+        # globally-acceptable pivot is not rejected twice.
+        if not self.unit_diagonal:
+            diag, present = _summed_diag(tri)
+            if not present.all():
+                row = int(np.flatnonzero(~present)[0])
+                raise SingularFactorError(row, 0.0)
+            thr = _pivot_threshold(tri.dtype,
+                                   float(np.abs(diag).max(initial=0.0)),
+                                   pivot_rtol)
+            bad = np.abs(diag) <= thr
+            if np.any(bad):
+                row = int(np.flatnonzero(bad)[0])
+                raise _pivot_error(row, float(diag[row]), thr)
+        part = (partition if partition is not None
+                else partition_rows(tri, n_parts, kind=kind))
+        if part.n != n:
+            raise ShapeError("partition order does not match the matrix")
+        if part.kind != kind:
+            raise ValueError(f"partition was cut for kind={part.kind!r}, "
+                             f"solver is {kind!r}")
+        self.partition = part
+        subs, coupling = split_partition(tri, part)
+        self._solvers = [
+            ScheduledTriangularSolver(sub, kind=kind,
+                                      unit_diagonal=unit_diagonal,
+                                      pivot_rtol=0.0)
+            for sub in subs
+        ]
+        self._coupling = coupling
+
+    # ------------------------------------------------------------------
+    @property
+    def n_parts(self) -> int:
+        return self.partition.n_parts
+
+    @property
+    def n_sweeps(self) -> int:
+        """Correction sweeps per solve (exactness bound)."""
+        return self.partition.n_sweeps
+
+    @property
+    def n_levels(self) -> int:
+        """Longest sub-triangle wavefront chain (one round's depth)."""
+        return max((s.n_levels for s in self._solvers), default=0)
+
+    @property
+    def n_exposed_syncs(self) -> int:
+        """Device-wide barriers per solve: two per correction sweep
+        (round done → coupling SpMV → refresh), none inside rounds."""
+        return 2 * self.n_sweeps
+
+    @property
+    def nnz(self) -> int:
+        """Off-diagonal + diagonal ops across all blocks per solve."""
+        return (sum(s.nnz for s in self._solvers)
+                + int(self._coupling.nnz))
+
+    def kernel_profile(self) -> tuple[np.ndarray, np.ndarray]:
+        """As-if-concurrent per-level ``(rows, nnz)`` profile.
+
+        Sub-triangle wavefronts execute concurrently, so level *k* of
+        the merged profile aggregates level *k* of every partition.
+        This keeps generic consumers (experiment metrics, serving
+        estimators) working; the engine-aware cost model prices the
+        correction sweeps separately via :meth:`cost_args`.
+        """
+        depth = self.n_levels
+        rows = np.zeros(depth, dtype=np.int64)
+        nnz = np.zeros(depth, dtype=np.int64)
+        for s in self._solvers:
+            r, z = s.kernel_profile()
+            rows[:r.shape[0]] += r
+            nnz[:z.shape[0]] += z
+        return rows, nnz
+
+    def cost_args(self) -> dict:
+        """Keyword arguments for
+        :func:`repro.machine.kernels.time_trisolve_partitioned`."""
+        return {
+            "profiles": [s.kernel_profile() for s in self._solvers],
+            "depth": self.partition.depth,
+            "coupling_rows": self.partition.coupling_rows,
+            "coupling_nnz": self.partition.coupling_nnz,
+        }
+
+    # ------------------------------------------------------------------
+    def solve(self, b: np.ndarray, out: np.ndarray | None = None
+              ) -> np.ndarray:
+        """Solve the triangular system for *b* (``(n,)`` or ``(n, B)``).
+
+        Round 0 solves every diagonal block from ``b`` alone; each
+        correction sweep then computes one coupling product ``C x`` and
+        re-solves the partitions whose condensed-DAG depth has not been
+        reached yet.  The result matches the sequential substitution
+        exactly (see the class docstring).  *out* must not alias *b*.
+        """
+        b = np.asarray(b)
+        if b.ndim == 2:
+            if b.shape[0] != self.n:
+                raise ShapeError(f"b must have shape ({self.n}, B), "
+                                 f"got {b.shape}")
+        elif b.shape != (self.n,):
+            raise ShapeError(f"b must have shape ({self.n},)")
+        dtype = np.result_type(self.dtype, b.dtype)
+        x = out if out is not None else np.empty(b.shape, dtype=dtype)
+        if x.shape != b.shape:
+            raise ShapeError(f"out must have shape {b.shape}")
+        fences = self.partition.fences
+        for p, solver in enumerate(self._solvers):
+            lo, hi = int(fences[p]), int(fences[p + 1])
+            solver.solve(b[lo:hi], out=x[lo:hi])
+        depth = self.partition.depth
+        for s in range(1, self.n_sweeps + 1):
+            c = (self._coupling.matvec(x) if x.ndim == 1
+                 else self._coupling.matmat(x))
+            for p in np.flatnonzero(depth >= s):
+                lo, hi = int(fences[p]), int(fences[p + 1])
+                self._solvers[p].solve(b[lo:hi] - c[lo:hi],
+                                       out=x[lo:hi])
+        return x
+
+    __call__ = solve
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"PartitionedTriangularSolver(kind={self.kind!r}, "
+                f"n={self.n}, parts={self.n_parts}, "
+                f"sweeps={self.n_sweeps}, "
+                f"unit_diagonal={self.unit_diagonal})")

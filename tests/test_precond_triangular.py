@@ -150,3 +150,128 @@ class TestScheduledSolver:
         a = CSRMatrix.from_dense(dense)
         with pytest.raises(NotTriangularError):
             ScheduledTriangularSolver(a, kind="lower")
+
+
+def _dup_diag_lower():
+    """2x2 lower factor whose row 0 stores the diagonal twice.
+
+    Duplicate (uncoalesced) entries are representable in CSR built with
+    ``check=False``; standard semantics sum them, so the effective
+    matrix is ``[[2, 0], [1, 4]]``.
+    """
+    indptr = np.array([0, 2, 4], dtype=np.int64)
+    indices = np.array([0, 0, 0, 1], dtype=np.int64)
+    data = np.array([1.5, 0.5, 1.0, 4.0])
+    return CSRMatrix(indptr, indices, data, (2, 2), check=False)
+
+
+class TestDuplicateDiagonalRegression:
+    """Regression: the oracles used to take only the *first* stored
+    diagonal entry (``vals[dmask][0]``), silently dropping duplicates;
+    the fixed code sums them (`x = [2, 2]`, not ``[8/3, 11/6]``)."""
+
+    def test_sequential_lower_sums_duplicates(self):
+        x = solve_lower_sequential(_dup_diag_lower(), np.array([4.0, 10.0]))
+        np.testing.assert_allclose(x, [2.0, 2.0], rtol=0, atol=0)
+
+    def test_sequential_upper_sums_duplicates(self):
+        indptr = np.array([0, 2, 4], dtype=np.int64)
+        indices = np.array([0, 1, 1, 1], dtype=np.int64)
+        data = np.array([2.0, 1.0, 1.5, 0.5])
+        upper = CSRMatrix(indptr, indices, data, (2, 2), check=False)
+        x = solve_upper_sequential(upper, np.array([6.0, 4.0]))
+        np.testing.assert_allclose(x, [2.0, 2.0], rtol=0, atol=0)
+
+    def test_executor_agrees_with_oracle(self):
+        tri = _dup_diag_lower()
+        b = np.array([4.0, 10.0])
+        solver = ScheduledTriangularSolver(tri, kind="lower")
+        np.testing.assert_array_equal(solver.solve(b),
+                                      solve_lower_sequential(tri, b))
+
+
+class TestRelativePivotThreshold:
+    """Regression: ``_PIVOT_RTOL = 0.0`` was documented as relative but
+    caught only exact zeros — a denormal float32 pivot (1e-40) passed
+    the check and its reciprocal overflowed to inf.  The threshold is
+    now genuinely relative (dtype-aware eps default) with a denormal
+    floor, and the raised error carries the offending magnitude."""
+
+    def _denormal_factor(self):
+        indptr = np.array([0, 1, 3], dtype=np.int64)
+        indices = np.array([0, 0, 1], dtype=np.int64)
+        data = np.array([1.0, 0.5, 1e-40], dtype=np.float32)
+        return CSRMatrix(indptr, indices, data, (2, 2), check=False)
+
+    def test_sequential_rejects_denormal_float32_pivot(self):
+        with pytest.raises(SingularFactorError) as ei:
+            solve_lower_sequential(self._denormal_factor(),
+                                   np.ones(2, dtype=np.float32))
+        assert ei.value.row == 1
+        assert "1.000e-40" in str(ei.value)
+
+    def test_executor_rejects_denormal_float32_pivot(self):
+        with pytest.raises(SingularFactorError) as ei:
+            ScheduledTriangularSolver(self._denormal_factor(), kind="lower")
+        assert ei.value.row == 1
+
+    def test_float64_healthy_pivots_unaffected(self, rng):
+        dense = random_lower(rng, 40)
+        a = CSRMatrix.from_dense(dense)
+        b = rng.standard_normal(40)
+        np.testing.assert_allclose(a.matvec(solve_lower_sequential(a, b)),
+                                   b, atol=1e-8)
+
+    def test_explicit_rtol_zero_still_allows_tiny_normals(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 1e-30]]))
+        x = solve_lower_sequential(a, np.ones(2), pivot_rtol=0.0)
+        assert np.isfinite(x).all()
+
+    def test_relative_rtol_scales_with_largest_pivot(self):
+        # 1e-6 is fine alone but negligible next to a 1e8 pivot.
+        a = CSRMatrix.from_dense(np.array([[1e8, 0.0], [0.0, 1e-6]]))
+        with pytest.raises(SingularFactorError):
+            solve_lower_sequential(a, np.ones(2), pivot_rtol=1e-10)
+
+
+#: float32 2x2 systems (b0, b1, d0, d1, v) where accumulating the
+#: forward substitution in float64 (the old oracle's Python-float path)
+#: and rounding once yields a *different* float32 result than
+#: accumulating in the array dtype.  Found by seeded brute force.
+_F32_DOUBLE_ROUNDING_CASES = [
+    (1.3222980499267578, -0.29969850182533264, -3.2431654930114746,
+     -0.31637853384017944, 0.902919352054596, -0.21631766855716705),
+    (0.4494839310646057, -1.343601107597351, 3.449479818344116,
+     5.236319065093994, -0.08168759196996689, -0.2545599043369293),
+    (-0.7950174808502197, 0.3000309467315674, 0.5335976481437683,
+     -2.523247480392456, -1.6027015447616577, 0.8274516463279724),
+]
+
+
+class TestInDtypeAccumulationRegression:
+    """Regression: the sequential oracles used to accumulate through
+    Python floats (always float64) while the executor accumulates in
+    the array dtype, so float32 equivalence could only be asserted to a
+    loose tolerance.  The oracles now accumulate in
+    ``np.result_type(tri.dtype, b.dtype)``."""
+
+    @pytest.mark.parametrize("b0,b1,d0,d1,v,old", _F32_DOUBLE_ROUNDING_CASES)
+    def test_float32_accumulates_in_dtype(self, b0, b1, d0, d1, v, old):
+        f = np.float32
+        dense = np.array([[d0, 0.0], [v, d1]], dtype=f)
+        tri = CSRMatrix.from_dense(dense)
+        x = solve_lower_sequential(tri, np.array([b0, b1], dtype=f))
+        assert x.dtype == np.float32
+        x0 = f(f(b0) / f(d0))
+        expected = f(f(f(b1) - f(f(v) * x0)) / f(d1))
+        x1_old = f((float(b1) - float(v) * float(x0)) / float(d1))
+        assert x1_old != expected  # the cases distinguish old from new
+        assert x[1] == expected
+
+    def test_float64_result_type_promotion(self, rng):
+        # float32 factor, float64 rhs: accumulation must promote.
+        dense = random_lower(rng, 20).astype(np.float32)
+        tri = CSRMatrix.from_dense(dense)
+        b = rng.standard_normal(20)
+        x = solve_lower_sequential(tri, b)
+        assert x.dtype == np.float64

@@ -1,0 +1,87 @@
+"""Preconditioner crossover: sparsified-ILU vs the approximate-inverse
+family, by matrix category and device sync cost.
+
+The ROADMAP's open item 1 made concrete: SPAI/FSAI apply as one or two
+barrier-free SpMVs, so their modeled per-iteration cost is flat in the
+device's sync latency, while (sparsified) ILU pays its wavefront
+structure on every application.  The study must record a genuine
+crossover — at least one ``(category, sync-cost)`` point where the
+approximate-inverse family wins on modeled end-to-end seconds and one
+where sparsified-ILU does — and every approximate-inverse candidate
+must report exactly zero modeled sync barriers.  The machine-readable
+map lands in ``results/BENCH_spai.json``.
+"""
+
+import json
+
+import numpy as np
+
+from conftest import RESULTS_DIR, _scale, emit
+
+from repro.core.spcg import make_preconditioner
+from repro.harness import run_spai_crossover
+
+AINV = ("spai", "fsai")
+
+
+def _params():
+    if _scale() == "tiny":
+        return 220, ("thermal", "cfd")
+    return 900, ("model_reduction", "thermal", "cfd", "structural")
+
+
+def test_spai_crossover(benchmark):
+    n, categories = _params()
+    res = run_spai_crossover(n=n, categories=categories)
+
+    # Every approximate-inverse candidate: zero modeled sync barriers
+    # and a converged probe at the study's 1e-8 criterion.
+    for p in res.points:
+        for kind in AINV:
+            c = p.plan.candidate(kind)
+            assert c.apply_sync_barriers == 0, (p.category, kind)
+            assert c.converged, (p.category, kind)
+
+    # The headline claim: neither family dominates the map.
+    assert res.ainv_win_points, "approximate-inverse never won a point"
+    assert res.ilu_win_points, "sparsified-ILU never won a point"
+
+    # The structure of the crossover: at the sync-free limit the
+    # stronger preconditioner (fewer iterations) must win, at the real
+    # device's sync cost the barrier-free family must win somewhere.
+    free = [p for p in res.points if p.sync_scale == 0.0]
+    real = [p for p in res.points if p.sync_scale >= 1.0]
+    assert any(not p.ainv_wins for p in free)
+    assert any(p.ainv_wins for p in real)
+
+    emit("spai_crossover.txt", res.summary())
+
+    summary = {
+        "device": res.device,
+        "candidates": list(res.candidates),
+        "has_crossover": res.has_crossover,
+        "ainv_wins": len(res.ainv_win_points),
+        "ilu_wins": len(res.ilu_win_points),
+        "points": [{
+            "category": p.category, "n": p.n, "nnz": p.nnz,
+            "sync_scale": p.sync_scale, "winner": p.winner,
+            "candidates": {c.kind: {
+                "converged": c.converged,
+                "iterations": c.iterations,
+                "setup_seconds": c.setup_seconds,
+                "per_iteration_seconds": c.per_iteration_seconds,
+                "apply_sync_barriers": c.apply_sync_barriers,
+                "total_seconds": c.total_seconds,
+            } for c in p.plan.candidates},
+        } for p in res.points],
+    }
+    (RESULTS_DIR / "BENCH_spai.json").write_text(
+        json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+
+    # Wall-clock the barrier-free apply itself.
+    from repro.datasets.generators import generate
+
+    a = generate(categories[0], n, 100)
+    m = make_preconditioner(a, "spai", cache=False)
+    r = np.ones(a.n_rows)
+    benchmark(lambda: m.apply(r))

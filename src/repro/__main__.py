@@ -317,6 +317,45 @@ def _cmd_fleet(args) -> int:
     return 1 if bad else 0
 
 
+def _cmd_spai(args) -> int:
+    import json
+
+    from .harness import run_spai_crossover
+    from .harness.spai_study import (DEFAULT_CATEGORIES,
+                                     DEFAULT_SYNC_SCALES)
+
+    categories = tuple(args.categories) if args.categories \
+        else DEFAULT_CATEGORIES
+    scales = tuple(args.sync_scales) if args.sync_scales \
+        else DEFAULT_SYNC_SCALES
+    res = run_spai_crossover(categories=categories, n=args.n,
+                             sync_scales=scales, k=args.k,
+                             device=args.device, seed=args.seed)
+    print(res.summary())
+    if args.json:
+        summary = {
+            "device": res.device,
+            "candidates": list(res.candidates),
+            "has_crossover": res.has_crossover,
+            "points": [{
+                "category": p.category, "n": p.n, "nnz": p.nnz,
+                "sync_scale": p.sync_scale, "winner": p.winner,
+                "candidates": {c.kind: {
+                    "converged": c.converged,
+                    "iterations": c.iterations,
+                    "setup_seconds": c.setup_seconds,
+                    "per_iteration_seconds": c.per_iteration_seconds,
+                    "apply_sync_barriers": c.apply_sync_barriers,
+                    "total_seconds": c.total_seconds,
+                } for c in p.plan.candidates},
+            } for p in res.points],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, indent=2)
+        print(f"summary -> {args.json}", file=sys.stderr)
+    return 0 if res.has_crossover else 1
+
+
 def _cmd_report(args) -> int:
     from .obs import render_report_file
 
@@ -361,7 +400,7 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("suite", help="run PCG vs SPCG over the registry")
     p.add_argument("--device", default="a100")
     p.add_argument("--precond", default="ilu0",
-                   choices=["ilu0", "iluk", "ic0", "jacobi"])
+                   choices=["ilu0", "iluk", "ic0", "jacobi", "spai", "fsai"])
     p.add_argument("--max-n", type=int, default=1600, dest="max_n")
     p.add_argument("--limit", type=int, default=0)
     p.add_argument("--category", default="")
@@ -384,7 +423,7 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("solve", help="solve a Matrix Market system")
     p.add_argument("mtx")
     p.add_argument("--precond", default="ilu0",
-                   choices=["ilu0", "iluk", "ic0", "jacobi"])
+                   choices=["ilu0", "iluk", "ic0", "jacobi", "spai", "fsai"])
     p.add_argument("--k", type=int, default=1)
     p.add_argument("--tau", type=float, default=1.0)
     p.add_argument("--omega", type=float, default=10.0)
@@ -414,7 +453,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--side", type=int, default=24,
                    help="grid side of the default 2-D Poisson stand-in")
     p.add_argument("--precond", default="ilu0",
-                   choices=["ilu0", "iluk", "ic0", "jacobi"])
+                   choices=["ilu0", "iluk", "ic0", "jacobi", "spai", "fsai"])
     p.add_argument("--k", type=int, default=1)
     p.add_argument("--batch-sizes", type=int, nargs="+",
                    default=[1, 2, 4, 8], dest="batch_sizes")
@@ -458,7 +497,7 @@ def main(argv: list[str] | None = None) -> int:
                    help="disable mid-block slot admission "
                         "(flush-style batching baseline)")
     p.add_argument("--precond", default="ilu0",
-                   choices=["ilu0", "iluk", "ic0", "jacobi"])
+                   choices=["ilu0", "iluk", "ic0", "jacobi", "spai", "fsai"])
     p.add_argument("--k", type=int, default=1)
     p.add_argument("--device", default="a100")
     p.add_argument("--seed", type=int, default=0)
@@ -479,7 +518,7 @@ def main(argv: list[str] | None = None) -> int:
                    help="grid side of the 2-D Poisson test matrix")
     p.add_argument("--requests", type=int, default=32)
     p.add_argument("--precond", default="jacobi",
-                   choices=["ilu0", "iluk", "ic0", "jacobi"])
+                   choices=["ilu0", "iluk", "ic0", "jacobi", "spai", "fsai"])
     p.add_argument("--max-batch", type=int, default=8, dest="max_batch")
     p.add_argument("--max-retries", type=int, default=4,
                    dest="max_retries")
@@ -526,7 +565,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--s", type=int, default=2,
                    help="s-step CG block size for the cost table")
     p.add_argument("--precond", default="jacobi",
-                   choices=["ilu0", "iluk", "ic0", "jacobi"])
+                   choices=["ilu0", "iluk", "ic0", "jacobi", "spai", "fsai"])
     p.add_argument("--k", type=int, default=1)
     p.add_argument("--device", default="a100")
     p.add_argument("--seed", type=int, default=0)
@@ -536,6 +575,25 @@ def main(argv: list[str] | None = None) -> int:
                    help="record the structured event trace to this "
                         "JSON-lines file (render with `repro report`)")
     p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser("spai", help="preconditioner crossover study: "
+                                    "sparsified-ILU vs SPAI/FSAI by "
+                                    "category and device sync cost")
+    p.add_argument("--categories", nargs="+", default=None,
+                   help="matrix categories to sweep (default: the "
+                        "study's four structural regimes)")
+    p.add_argument("--n", type=int, default=900,
+                   help="matrix order per category")
+    p.add_argument("--sync-scales", type=float, nargs="+", default=None,
+                   dest="sync_scales",
+                   help="latency-constant scalings (0 = sync-free limit)")
+    p.add_argument("--k", type=int, default=1,
+                   help="approximate-inverse pattern power / ILU fill")
+    p.add_argument("--device", default="a100")
+    p.add_argument("--seed", type=int, default=100)
+    p.add_argument("--json", default="", metavar="OUT.JSON",
+                   help="write the crossover map as JSON")
+    p.set_defaults(func=_cmd_spai)
 
     p = sub.add_parser("report", help="render the run ledger from a "
                                       "--trace JSON-lines file")

@@ -24,10 +24,12 @@ from ..obs.trace import get_recorder
 from ..perf.cache import ArtifactCache, get_cache
 from ..perf.fingerprint import matrix_fingerprint
 from ..precond.base import Preconditioner
+from ..precond.fsai import FSAIPreconditioner
 from ..precond.ic0 import IC0Preconditioner
 from ..precond.ilu0 import ILU0Preconditioner
 from ..precond.iluk import ILUKPreconditioner
 from ..precond.jacobi import JacobiPreconditioner
+from ..precond.spai import SPAIPreconditioner
 from ..solvers.cg import pcg
 from ..solvers.result import SolveResult
 from ..solvers.stopping import StoppingCriterion
@@ -36,7 +38,7 @@ from .wavefront_aware import SparsificationDecision, wavefront_aware_sparsify
 
 __all__ = ["SPCGResult", "spcg", "make_preconditioner", "PRECISIONS"]
 
-_PRECONDITIONERS = ("ilu0", "iluk", "ic0", "jacobi")
+_PRECONDITIONERS = ("ilu0", "iluk", "ic0", "jacobi", "spai", "fsai")
 
 
 #: Accepted values of the ``precision`` knob (mixed = float32 factors,
@@ -61,6 +63,12 @@ def _build_preconditioner(a: CSRMatrix, kind: str, *, k: int,
     if kind == "ic0":
         return IC0Preconditioner(a, shift=shift, engine=engine,
                                  n_parts=n_parts, device=device)
+    if kind == "spai":
+        # k doubles as the approximate-inverse pattern power (Aᵏ) —
+        # the family's fill knob, mirroring ILU(K)'s level of fill.
+        return SPAIPreconditioner(a, k=max(1, k))
+    if kind == "fsai":
+        return FSAIPreconditioner(a, k=max(1, k))
     return JacobiPreconditioner(a)
 
 
@@ -83,6 +91,11 @@ def make_preconditioner(a: CSRMatrix, kind: str, *, k: int = 1,
     ladder flips it to ``True`` so zero pivots are *classified*, then
     escalates ``pivot_boost`` (ILU family) or the Manteuffel diagonal
     ``shift`` (IC(0)) on the retry.
+
+    For the approximate-inverse family (``"spai"``/``"fsai"``) there is
+    no factorization and no triangular solve: the operator applies as
+    one or two barrier-free SpMVs, and ``k`` is reinterpreted as the
+    pattern power (support of ``Aᵏ``) — the family's fill knob.
 
     ``precision="mixed"`` factorizes a float32 copy of ``a``, producing
     float32 triangular factors — half the value traffic on the dominant

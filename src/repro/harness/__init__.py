@@ -19,6 +19,8 @@ the statistics every table and figure of the paper reports.
 from .batch_bench import BatchPoint, BatchScalingResult, run_batch_scaling
 from .precision_study import (PrecisionPoint, PrecisionStudyResult,
                               run_precision_study)
+from .spai_study import (CrossoverPoint, SpaiCrossoverResult,
+                         run_spai_crossover)
 from .experiment import (
     ExperimentResult,
     MethodMetrics,
@@ -43,6 +45,9 @@ __all__ = [
     "PrecisionPoint",
     "PrecisionStudyResult",
     "run_precision_study",
+    "CrossoverPoint",
+    "SpaiCrossoverResult",
+    "run_spai_crossover",
     "MethodMetrics",
     "ExperimentResult",
     "run_experiment",

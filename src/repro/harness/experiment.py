@@ -32,6 +32,7 @@ from ..core.wavefront_aware import (SparsificationDecision,
 from ..errors import ReproError
 from ..machine.device import A100, EPYC_7413, DeviceModel
 from ..machine.kernels import (IterationCost, iteration_cost,
+                               time_ainv_setup,
                                time_ilu_factorization,
                                time_sparsification)
 from ..obs.metrics import get_metrics
@@ -175,7 +176,11 @@ class ExperimentResult:
 
 
 def _factor_time(dev: DeviceModel, m: Preconditioner, kind: str) -> float:
-    """Modeled factorization time of an ILU-family preconditioner."""
+    """Modeled setup time: ILU factorization or approximate-inverse fit."""
+    profile = getattr(m, "setup_profile", None)
+    if profile is not None:
+        p = profile()
+        return time_ainv_setup(dev, p["n_rows"], p["flops"], p["bytes"])
     solvers = getattr(m, "solvers", None)
     if solvers is None:
         return 0.0

@@ -28,6 +28,8 @@ __all__ = [
     "time_trisolve_batched",
     "time_trisolve_partitioned",
     "time_ilu_factorization",
+    "time_ainv_setup",
+    "time_precond_setup",
     "time_sparsification",
     "IterationCost",
     "iteration_cost",
@@ -388,6 +390,53 @@ def time_ilu_factorization(dev: DeviceModel, rows_per_level: np.ndarray,
                  + body.sum())
 
 
+def time_ainv_setup(dev: DeviceModel, n_rows: int, flops: float,
+                    bytes_: float) -> float:
+    """Approximate-inverse (SPAI/FSAI) setup: ``n_rows`` independent
+    small dense solves in one flat-parallel kernel.
+
+    Unlike :func:`time_ilu_factorization` there is no elimination DAG —
+    every row's least-squares / principal-submatrix solve is
+    independent, so the whole setup is a single launch whose roofline
+    body runs at per-row utilization ``n_rows / row_slots`` with **no**
+    inter-level synchronization.  This is the family's bargain: it
+    spends these FLOPs once so every subsequent application is
+    barrier-free.
+    """
+    util = min(1.0, n_rows / dev.row_slots)
+    return dev.launch_overhead + _roofline(dev, float(flops),
+                                           float(bytes_), util)
+
+
+def time_precond_setup(dev: DeviceModel, preconditioner: Preconditioner,
+                       *, sequential: bool = False) -> float:
+    """Modeled one-time setup seconds of *preconditioner* on *dev*.
+
+    Dispatches on the metadata the preconditioner exposes: an ILU-family
+    object carrying wavefront ``solvers()`` + ``factors.factor_flops``
+    is priced by :func:`time_ilu_factorization` (``sequential=True``
+    reproduces the paper's host-side SuperLU setting); an
+    approximate-inverse object exposing ``setup_profile()`` is priced
+    by :func:`time_ainv_setup`; anything else (Jacobi, identity) is one
+    diagonal-extraction pass.
+    """
+    profile = getattr(preconditioner, "setup_profile", None)
+    if profile is not None:
+        p = profile()
+        return time_ainv_setup(dev, p["n_rows"], p["flops"], p["bytes"])
+    solvers = getattr(preconditioner, "solvers", None)
+    factors = getattr(preconditioner, "factors", None)
+    if solvers is not None and factors is not None:
+        fwd, _ = solvers()
+        rows, nnz = fwd.kernel_profile()
+        return time_ilu_factorization(dev, rows, nnz,
+                                      factors.factor_flops,
+                                      sequential=sequential)
+    n = max(1, preconditioner.n)
+    return dev.launch_overhead + _roofline(
+        dev, 0.0, 2.0 * n * dev.value_bytes, min(1.0, n / dev.parallel_lanes))
+
+
 def time_sparsification(dev: DeviceModel, nnz: int, n_candidates: int = 3
                         ) -> float:
     """Cost of Algorithm 2 itself (charged to SPCG end-to-end time).
@@ -451,19 +500,49 @@ def _time_precond_sweep(dev: DeviceModel, solver, batch: int = 1) -> float:
     return time_trisolve_batched(dev, rows, nnz, batch)
 
 
+def _precond_spmv_times(dev: DeviceModel, preconditioner: Preconditioner,
+                        batch: int = 1) -> tuple[float, float] | None:
+    """Price a barrier-free SpMV-apply preconditioner (SPAI/FSAI).
+
+    Preconditioners exposing ``spmv_profile()`` apply as one or two
+    independent SpMV launches — no wavefronts, no device barriers —
+    so each profile entry ``(n_rows, nnz, value_bytes)`` is priced by
+    the plain (batched) SpMV rule.  Returns ``None`` for everything
+    else so the wavefront/diagonal dispatch below applies.
+    """
+    profile = getattr(preconditioner, "spmv_profile", None)
+    if profile is None:
+        return None
+    times = []
+    for n_rows, nnz, vb in profile():
+        if batch == 1:
+            times.append(time_spmv(dev, n_rows, nnz, value_bytes=vb))
+        else:
+            times.append(time_spmv_batched(dev, n_rows, nnz, batch,
+                                           value_bytes=vb))
+    fwd = times[0] if times else 0.0
+    bwd = float(sum(times[1:]))
+    return fwd, bwd
+
+
 def iteration_cost(dev: DeviceModel, a: CSRMatrix,
                    preconditioner: Preconditioner) -> IterationCost:
     """Assemble the modeled cost of one PCG iteration.
 
     Uses the preconditioner's wavefront solvers when it exposes them
-    (ILU0/ILUK/IC0/SSOR); diagonal preconditioners are priced as one
-    vector op.  Partitioned-engine solvers are priced by their own rule
-    (see :func:`_time_precond_sweep`).
+    (ILU0/ILUK/IC0/SSOR); approximate-inverse preconditioners exposing
+    ``spmv_profile()`` (SPAI/FSAI) are priced as barrier-free SpMVs;
+    diagonal preconditioners are priced as one vector op.
+    Partitioned-engine solvers are priced by their own rule (see
+    :func:`_time_precond_sweep`).
     """
     n = a.n_rows
     spmv = time_spmv(dev, n, a.nnz)
+    ainv = _precond_spmv_times(dev, preconditioner)
     solvers = getattr(preconditioner, "solvers", None)
-    if solvers is not None:
+    if ainv is not None:
+        t_fwd, t_bwd = ainv
+    elif solvers is not None:
         fwd, bwd = solvers()
         t_fwd = _time_precond_sweep(dev, fwd)
         t_bwd = _time_precond_sweep(dev, bwd)
@@ -493,8 +572,11 @@ def iteration_cost_batched(dev: DeviceModel, a: CSRMatrix,
     batch = _check_batch(batch)
     n = a.n_rows
     spmv = time_spmv_batched(dev, n, a.nnz, batch)
+    ainv = _precond_spmv_times(dev, preconditioner, batch)
     solvers = getattr(preconditioner, "solvers", None)
-    if solvers is not None:
+    if ainv is not None:
+        t_fwd, t_bwd = ainv
+    elif solvers is not None:
         fwd, bwd = solvers()
         t_fwd = _time_precond_sweep(dev, fwd, batch)
         t_bwd = _time_precond_sweep(dev, bwd, batch)

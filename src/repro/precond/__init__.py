@@ -11,6 +11,11 @@ Implements the preconditioning stack of the paper from scratch:
   preconditioner in the paper);
 * :mod:`~repro.precond.ic0` — zero-fill incomplete Cholesky (IC(0)), the
   SPD-specialized sibling mentioned in Section 6.2;
+* :mod:`~repro.precond.spai` / :mod:`~repro.precond.fsai` — the
+  approximate-inverse family: barrier-free SpMV applies trading setup
+  cost and iteration count for perfectly flat parallelism, with
+  :func:`~repro.precond.plan.plan_preconditioner` pricing the
+  crossover against (sparsified) ILU;
 * Jacobi, SSOR and identity preconditioners as cheap baselines.
 
 All preconditioners implement :class:`~repro.precond.base.Preconditioner`,
@@ -37,6 +42,9 @@ from .ilu0 import ILUFactors, ilu0, ILU0Preconditioner
 from .iluk import iluk, iluk_symbolic, ILUKPreconditioner
 from .ic0 import ic0, IC0Preconditioner
 from .ilut import ilut, ILUTPreconditioner
+from .spai import ainv_pattern, spai, SPAIPreconditioner
+from .fsai import fsai, FSAIPreconditioner
+from .plan import CandidateCost, PreconditionerPlan, plan_preconditioner
 
 __all__ = [
     "Preconditioner",
@@ -61,4 +69,12 @@ __all__ = [
     "IC0Preconditioner",
     "ilut",
     "ILUTPreconditioner",
+    "ainv_pattern",
+    "spai",
+    "SPAIPreconditioner",
+    "fsai",
+    "FSAIPreconditioner",
+    "CandidateCost",
+    "PreconditionerPlan",
+    "plan_preconditioner",
 ]

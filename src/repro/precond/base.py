@@ -62,5 +62,18 @@ class Preconditioner(abc.ABC):
         """
         return (0, 0)
 
+    def apply_sync_barriers(self) -> int:
+        """Device-wide barriers inside one application.
+
+        A sweep of ``k`` wavefronts pays ``k − 1`` inter-wavefront
+        barriers, so the default derives from :meth:`apply_levels`.
+        Approximate-inverse preconditioners apply as one or two
+        independent SpMV launches with **zero** barriers — the flat-
+        parallel end of the spectrum the paper's sparsification moves
+        ILU towards — and the crossover planner keys on this quantity.
+        """
+        fwd, bwd = self.apply_levels()
+        return max(0, fwd - 1) + max(0, bwd - 1)
+
     def __call__(self, r: np.ndarray) -> np.ndarray:
         return self.apply(r)

@@ -1,9 +1,14 @@
 """Threshold-based incomplete LU — ILUT(p, τ_drop).
 
 Saad's dual-threshold ILUT: during the elimination of each row, entries
-whose magnitude falls below ``drop_tol`` times the row's norm are
-discarded, and only the ``p`` largest-magnitude entries are kept in each
-of the L and U parts.  This is the drop-strategy family the paper's
+whose magnitude falls below ``drop_tol`` times the row's **RMS value**
+— ``‖row‖₂ / √len``, the 2-norm normalized by the row's entry count,
+not the raw 2-norm — are discarded, and only the ``p`` largest-magnitude
+entries are kept in each of the L and U parts.  The RMS scaling keeps
+the threshold comparable to a *typical entry magnitude* regardless of
+row length (a raw-norm rule would drop ever more aggressively as rows
+fill in); this is the semantics :func:`ilut` documents and the tests
+pin.  This is the drop-strategy family the paper's
 related work compares against (ParILUT of Anzt et al. is its parallel
 variant): ILUT drops *during* factorization based on factor values,
 whereas SPCG drops *before* factorization based on matrix values —
@@ -42,8 +47,10 @@ def ilut(a: CSRMatrix, *, p: int = 10, drop_tol: float = 1e-3
         Maximum retained entries in each of the strictly-lower and
         strictly-upper parts of every factored row.
     drop_tol:
-        Entries below ``drop_tol · ‖row‖₂ / √len`` are dropped during
-        elimination (the relative rule of Saad §10.4.1).
+        Entries below ``drop_tol · ‖row‖₂ / √len`` — *drop_tol* times
+        the row's RMS entry magnitude — are dropped during elimination
+        (the relative rule of Saad §10.4.1, normalized per entry so the
+        threshold does not grow with row length).
 
     Returns
     -------

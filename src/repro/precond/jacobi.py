@@ -10,9 +10,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import SingularFactorError
 from ..sparse.csr import CSRMatrix
 from .base import Preconditioner
+from .triangular import _PIVOT_RTOL, _pivot_error, _pivot_threshold
 
 __all__ = ["JacobiPreconditioner"]
 
@@ -20,17 +20,24 @@ __all__ = ["JacobiPreconditioner"]
 class JacobiPreconditioner(Preconditioner):
     """``z = diag(A)⁻¹ r``.
 
-    Raises :class:`SingularFactorError` when any diagonal entry is zero.
+    Raises :class:`~repro.errors.SingularFactorError` when any diagonal
+    entry is zero *or negligibly small relative to the largest one* —
+    the same dtype-aware pivot test the triangular solvers apply.  An
+    exact-zero test would accept denormal float32 diagonals whose
+    reciprocal, cast back to ``a.dtype``, overflows to inf.
     """
 
     name = "jacobi"
 
-    def __init__(self, a: CSRMatrix):
+    def __init__(self, a: CSRMatrix, *,
+                 pivot_rtol: float | None = _PIVOT_RTOL):
         d = a.diagonal().astype(np.float64)
-        if np.any(d == 0.0):
-            row = int(np.flatnonzero(d == 0.0)[0])
-            raise SingularFactorError(row, 0.0,
-                                      f"zero diagonal at row {row}")
+        thr = _pivot_threshold(a.dtype, float(np.abs(d).max(initial=0.0)),
+                               pivot_rtol)
+        bad = np.abs(d) <= thr
+        if np.any(bad):
+            row = int(np.flatnonzero(bad)[0])
+            raise _pivot_error(row, float(d[row]), thr)
         self._inv_diag = (1.0 / d).astype(a.dtype)
 
     @property

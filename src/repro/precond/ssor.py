@@ -11,11 +11,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import SingularFactorError
 from ..sparse.csr import CSRMatrix
 from ..sparse.ops import extract_lower, extract_upper
 from .base import Preconditioner
-from .triangular import ScheduledTriangularSolver
+from .triangular import (
+    _PIVOT_RTOL,
+    _pivot_error,
+    _pivot_threshold,
+    ScheduledTriangularSolver,
+)
 
 __all__ = ["SSORPreconditioner"]
 
@@ -29,14 +33,20 @@ class SSORPreconditioner(Preconditioner):
 
     name = "ssor"
 
-    def __init__(self, a: CSRMatrix, *, omega: float = 1.0):
+    def __init__(self, a: CSRMatrix, *, omega: float = 1.0,
+                 pivot_rtol: float | None = _PIVOT_RTOL):
         if not (0.0 < omega < 2.0):
             raise ValueError(f"omega must lie in (0, 2), got {omega}")
         self.omega = float(omega)
         d = a.diagonal().astype(np.float64)
-        if np.any(d == 0.0):
-            row = int(np.flatnonzero(d == 0.0)[0])
-            raise SingularFactorError(row, 0.0)
+        # Same relative, dtype-aware pivot test as the triangular path:
+        # denormal diagonals would otherwise survive to 1/d → inf.
+        thr = _pivot_threshold(a.dtype, float(np.abs(d).max(initial=0.0)),
+                               pivot_rtol)
+        bad = np.abs(d) <= thr
+        if np.any(bad):
+            row = int(np.flatnonzero(bad)[0])
+            raise _pivot_error(row, float(d[row]), thr)
         n = a.n_rows
 
         # Build (D/ω + L) and (D/ω + U) by rescaling the diagonals of the

@@ -79,10 +79,18 @@ class FallbackRung:
 def default_ladder(preconditioner: str = "ilu0", *, k: int = 1,
                    ratios: tuple[float, ...] = (10.0, 5.0, 1.0)
                    ) -> tuple[FallbackRung, ...]:
-    """The default chosen→safe→full→IC0→Jacobi→CG ladder.
+    """The default chosen→safe→full→IC0→FSAI→Jacobi→CG ladder.
 
     Rungs that would duplicate an earlier one (e.g. the unsparsified
-    rung when *preconditioner* is already ``"ic0"``) are elided.
+    rung when *preconditioner* is already ``"ic0"``) are elided.  The
+    FSAI rung sits between IC(0) and Jacobi: it needs no factorization
+    at all (per-row dense solves — a zero pivot cannot occur), its
+    ``Gᵀ G`` operator is SPD by construction, and its barrier-free
+    apply sidesteps the wavefront path entirely — so it catches
+    factorization breakdowns IC(0) shares with ILU while remaining a
+    far stronger rung than bare Jacobi.  SPAI is deliberately absent:
+    its symmetrized fit is not guaranteed SPD, which a *fallback* rung
+    must be.
     """
     rungs = [
         FallbackRung("spcg", "spcg", preconditioner, k=k),
@@ -92,6 +100,8 @@ def default_ladder(preconditioner: str = "ilu0", *, k: int = 1,
     ]
     if preconditioner != "ic0":
         rungs.append(FallbackRung("ic0", "pcg", "ic0"))
+    if preconditioner != "fsai":
+        rungs.append(FallbackRung("fsai", "pcg", "fsai"))
     if preconditioner != "jacobi":
         rungs.append(FallbackRung("jacobi", "pcg", "jacobi"))
     rungs.append(FallbackRung("cg", "cg"))

@@ -37,8 +37,12 @@ __all__ = ["RetryPolicy", "BreakerPolicy", "BrownoutPolicy",
 
 #: Downgrade severity of each preconditioner kind on the robustness
 #: ladder (higher = more conservative).  ``iluk`` shares ILU(0)'s rung:
-#: both are the "chosen ratio" start of the ladder.
-_LADDER_LEVEL = {"ilu0": 0, "iluk": 0, "ic0": 1, "jacobi": 2}
+#: both are the "chosen ratio" start of the ladder.  The approximate-
+#: inverse family shares IC(0)'s rung — no factorization to break, so a
+#: request *starting* at spai/fsai downgrades straight to Jacobi, while
+#: ILU starters keep their existing ``ic0 → jacobi`` path unchanged.
+_LADDER_LEVEL = {"ilu0": 0, "iluk": 0, "ic0": 1, "spai": 1, "fsai": 1,
+                 "jacobi": 2}
 
 
 def precond_ladder(kind: str) -> tuple[str, ...]:

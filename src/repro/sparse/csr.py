@@ -134,10 +134,14 @@ class CSRMatrix:
                    dense.shape, check=False)
 
     def to_dense(self) -> np.ndarray:
-        """Materialize as a dense 2-D array."""
+        """Materialize as a dense 2-D array.
+
+        Duplicate coordinates (possible with ``check=False``) are
+        summed, matching :meth:`matvec` and the COO convention.
+        """
         out = np.zeros(self.shape, dtype=self.data.dtype)
         rows = np.repeat(np.arange(self.n_rows), self.row_lengths())
-        out[rows, self.indices] = self.data
+        np.add.at(out, (rows, self.indices), self.data)
         return out
 
     def tocoo(self):
@@ -229,13 +233,19 @@ class CSRMatrix:
         return NotImplemented
 
     def diagonal(self) -> np.ndarray:
-        """Main diagonal as a dense vector (zeros where unstored)."""
+        """Main diagonal as a dense vector (zeros where unstored).
+
+        Duplicate stored coordinates (representable when built with
+        ``check=False``) are **summed** — the same assembly semantics
+        :meth:`matvec` and the COO conversion apply — so every consumer
+        of the diagonal sees the matrix the numeric kernels act on.
+        """
         n = min(self.shape)
         out = np.zeros(n, dtype=self.data.dtype)
         for_rows = np.arange(self.n_rows, dtype=np.int64)
         rows = np.repeat(for_rows, self.row_lengths())
         mask = (rows == self.indices) & (rows < n)
-        out[rows[mask]] = self.data[mask]
+        np.add.at(out, rows[mask], self.data[mask])
         return out
 
     def eliminate_zeros(self, tol: float = 0.0) -> "CSRMatrix":

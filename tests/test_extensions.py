@@ -184,6 +184,26 @@ class TestILUT:
         tight = ilut(a, p=50, drop_tol=1e-8)
         assert loose.nnz <= tight.nnz
 
+    def test_drop_threshold_is_rms_scaled(self):
+        # Pins the documented drop rule: entries survive iff
+        # |v| > drop_tol * ‖row‖₂/√len (the row's RMS value), NOT
+        # drop_tol * ‖row‖₂.  Row 0 of this matrix has values
+        # [4, .5, .5, .5]: ‖row‖₂ ≈ 4.093, RMS ≈ 2.046.  At
+        # drop_tol=0.2 the RMS threshold is ≈0.409 < 0.5 (kept) while
+        # a raw-norm rule would give ≈0.819 > 0.5 (dropped).
+        dense = np.array([[4.0, 0.5, 0.5, 0.5],
+                          [0.5, 4.0, 0.0, 0.0],
+                          [0.5, 0.0, 4.0, 0.0],
+                          [0.5, 0.0, 0.0, 4.0]])
+        a = CSRMatrix.from_dense(dense)
+        kept = ilut(a, p=10, drop_tol=0.2)
+        cols, _ = kept.upper.row_slice(0)
+        np.testing.assert_array_equal(cols, [0, 1, 2, 3])
+        # Just above 0.5/RMS ≈ 0.244 the same entries must drop.
+        dropped = ilut(a, p=10, drop_tol=0.26)
+        cols, _ = dropped.upper.row_slice(0)
+        np.testing.assert_array_equal(cols, [0])
+
     def test_parameter_validation(self, poisson16):
         with pytest.raises(ValueError):
             ilut(poisson16, p=0)

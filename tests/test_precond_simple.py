@@ -52,6 +52,27 @@ class TestJacobi:
         with pytest.raises(SingularFactorError):
             JacobiPreconditioner(a)
 
+    def test_denormal_diagonal_rejected(self):
+        # 1e-40 is a float32 denormal: it passes an absolute ``d == 0``
+        # test but 1/d overflows the scaling.  The relative dtype-aware
+        # pivot test must reject it like the triangular solvers do.
+        dense = np.array([[1.0, 0.0], [0.0, 1e-40]], dtype=np.float32)
+        a = CSRMatrix.from_dense(dense)
+        with pytest.raises(SingularFactorError):
+            JacobiPreconditioner(a)
+
+    def test_pivot_rtol_opt_out(self):
+        # The default (dtype-eps) relative test rejects a pivot tiny
+        # relative to the largest one; pivot_rtol=0.0 drops the
+        # threshold to the denormal floor and accepts it.
+        dense = np.array([[1.0, 0.0], [0.0, 1e-30]])
+        a = CSRMatrix.from_dense(dense)
+        with pytest.raises(SingularFactorError):
+            JacobiPreconditioner(a)
+        m = JacobiPreconditioner(a, pivot_rtol=0.0)
+        np.testing.assert_allclose(m.apply(np.array([1.0, 1e-30])),
+                                   [1.0, 1.0])
+
     def test_accelerates_cg_on_scaled_system(self, rng):
         # Badly scaled diagonal: Jacobi fixes it, plain CG crawls.
         n = 80
@@ -104,5 +125,13 @@ class TestSSOR:
 
     def test_zero_diagonal_rejected(self):
         a = CSRMatrix.from_dense(np.array([[1.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(SingularFactorError):
+            SSORPreconditioner(a)
+
+    def test_denormal_diagonal_rejected(self):
+        # Same relative pivot sweep as Jacobi: a float32 denormal
+        # passes ``d == 0`` but must fail the dtype-aware test.
+        dense = np.array([[1.0, 0.0], [0.0, 1e-40]], dtype=np.float32)
+        a = CSRMatrix.from_dense(dense)
         with pytest.raises(SingularFactorError):
             SSORPreconditioner(a)

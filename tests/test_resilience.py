@@ -389,11 +389,12 @@ class TestClassifyFailure:
 class TestFallbackLadder:
     def test_default_ladder_shape(self):
         names = [r.name for r in default_ladder("ilu0")]
-        assert names == ["spcg", "spcg-safe", "full", "ic0", "jacobi",
-                         "cg"]
+        assert names == ["spcg", "spcg-safe", "full", "ic0", "fsai",
+                         "jacobi", "cg"]
 
     def test_default_ladder_elides_duplicates(self):
         assert "ic0" not in [r.name for r in default_ladder("ic0")]
+        assert "fsai" not in [r.name for r in default_ladder("fsai")]
         assert "jacobi" not in [r.name for r in default_ladder("jacobi")]
 
     def test_healthy_solve_single_attempt(self, poisson20):

@@ -150,6 +150,18 @@ class TestAccessors:
         a = random_csr(rng, 4, 8)
         np.testing.assert_allclose(a.diagonal(), np.diag(a.to_dense()))
 
+    def test_diagonal_sums_duplicate_coordinates(self):
+        # A check=False CSR may carry duplicate coordinates (COO input
+        # before compression; matvec sums them).  diagonal() must follow
+        # the same summing convention — the fancy-indexing version kept
+        # only the last duplicate.
+        a = CSRMatrix(np.array([0, 3, 5]), np.array([0, 0, 1, 1, 1]),
+                      np.array([2.0, 3.0, 7.0, 4.0, 5.0]), (2, 2),
+                      check=False)
+        np.testing.assert_allclose(a.diagonal(), [5.0, 9.0])
+        # Same convention as the dense rendering and matvec.
+        np.testing.assert_allclose(a.diagonal(), np.diag(a.to_dense()))
+
     def test_get(self, fig1_lower):
         assert fig1_lower.get(3, 2) == 6.0
         assert fig1_lower.get(0, 3) == 0.0

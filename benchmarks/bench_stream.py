@@ -1,0 +1,98 @@
+"""Amortized solve streams: the warm+reuse+recycling session vs cold
+per-step solves, HPCG-style.
+
+The ROADMAP's open item 3 made concrete: on a drifting heat-equation
+stream the full :class:`repro.streams.SolveSession` (warm starts,
+staleness-gated factor reuse, Krylov recycling) must reduce **modeled
+end-to-end seconds** vs dispatching every step through the cold
+one-shot path by at least 1.5×, with HPCG discipline — every step's
+final *true* residual ``b − A·x`` re-verified against its stopping
+criterion on both streams, and the recycling contract (deflated solves
+match plain ``pcg`` to 1e-8 and never iterate more on
+identical-matrix streams) checked alongside.  The machine-readable
+headline lands in ``results/BENCH_stream.json``.
+"""
+
+import json
+
+import numpy as np
+
+from conftest import RESULTS_DIR, _scale, emit
+
+from repro.harness import run_stream_study
+
+#: The acceptance floor for the amortization headline.
+MIN_SPEEDUP = 1.5
+
+
+def _params():
+    if _scale() == "tiny":
+        return dict(side=12, n_steps=20, dt=20.0)
+    return dict(side=20, n_steps=24, dt=20.0)
+
+
+def test_stream_amortization(benchmark):
+    res = run_stream_study(**_params())
+
+    # HPCG discipline: a run with an unverified step has no headline.
+    assert res.all_verified, "a step's true residual missed its criterion"
+    for rep in (res.warm, res.cold):
+        assert rep.all_converged
+        for s in rep.steps:
+            assert s.true_residual <= s.tolerance, (s.step, s.tag)
+
+    # The headline: the session amortizes ≥ 1.5× on modeled seconds,
+    # and wins on raw iterations too (the CI smoke's strict check).
+    assert res.speedup >= MIN_SPEEDUP, (
+        f"session speedup ×{res.speedup:.2f} below ×{MIN_SPEEDUP}")
+    assert res.warm_iterations < res.cold_iterations
+
+    # The warm stream actually exercised every amortization lever.
+    acts = res.warm.actions
+    assert acts.get("reuse", 0) > 0, "staleness detector never reused"
+    assert acts.get("refactor", 0) > 0, "drift shock never refactored"
+    assert any(s.warm_started for s in res.warm.steps)
+    assert any(s.deflated > 0 for s in res.warm.steps)
+
+    # Recycling contract on the identical-matrix check stream.
+    assert res.deflation_mismatch <= 1e-8
+    assert res.deflation_iter_excess <= 0
+
+    emit("stream_amortization.txt", res.summary())
+
+    summary = {
+        "n": res.n, "nnz": res.nnz, "n_steps": res.n_steps,
+        "dt": res.dt, "device": res.device,
+        "min_speedup": MIN_SPEEDUP,
+        "speedup": res.speedup,
+        "warm_seconds": res.warm_seconds,
+        "cold_seconds": res.cold_seconds,
+        "warm_iterations": res.warm_iterations,
+        "cold_iterations": res.cold_iterations,
+        "warm_actions": dict(res.warm.actions),
+        "all_verified": res.all_verified,
+        "deflation_mismatch": res.deflation_mismatch,
+        "deflation_iter_excess": res.deflation_iter_excess,
+        "steps": [{
+            "step": s.step, "action": s.action, "drift": s.drift,
+            "iters": s.total_iters, "warm_started": s.warm_started,
+            "deflated": s.deflated, "verified": s.verified,
+            "modeled_seconds": s.modeled_seconds,
+        } for s in res.warm.steps],
+    }
+    (RESULTS_DIR / "BENCH_stream.json").write_text(
+        json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+
+    # Wall-clock one warm session step (staleness probe + deflated
+    # solve) as the representative real kernel.
+    from repro.harness import build_heat_stream_operator
+    from repro.solvers.stopping import StoppingCriterion
+    from repro.streams import SolveSession
+
+    p = _params()
+    a = build_heat_stream_operator(p["side"], p["dt"])
+    crit = StoppingCriterion(rtol=1e-10, atol=0.0, max_iters=1000)
+    session = SolveSession(preconditioner="ilu0", criterion=crit)
+    b = np.ones(a.n_rows)
+    session.step(a, b)
+    benchmark(lambda: session.step(a, b))

@@ -1,26 +1,29 @@
 #!/usr/bin/env python
-"""Implicit heat-equation time stepping accelerated by SPCG.
+"""Implicit heat-equation time stepping on a :class:`SolveSession`.
 
 Backward-Euler discretization of ``u_t = ∇·(κ∇u)`` on a 2-D plate with a
 high-contrast conductivity field: each step solves
 ``(M + Δt·K) u_{n+1} = M u_n``, an SPD system whose triangular-solve
 dependence structure contains the weak interfaces sparsification cuts.
 
-The preconditioner (and Algorithm 2's decision) is computed **once**,
-then reused across all time steps — the amortization regime where SPCG's
-per-iteration gains compound, which is exactly the scientific-simulation
-use case the paper's introduction motivates.
+The time loop hands every step to a :class:`repro.streams.SolveSession`,
+which owns all the amortization the paper's introduction motivates:
+Algorithm 2 + factorization run **once** (the staleness detector sees an
+unchanged matrix and reuses the factor), each step warm-starts from the
+previous solution, a recycled Ritz basis deflates the slow modes, and
+every step's true residual is re-verified.  A second session with every
+lever forced off is the cold per-step baseline.
 
 Run:  python examples/heat_equation.py
 """
 
 import numpy as np
 
-from repro import pcg, ILU0Preconditioner, StoppingCriterion
-from repro.core import wavefront_aware_sparsify
+from repro import StoppingCriterion
 from repro.datasets.generators import _grid_edges_2d, _spd_from_edges
-from repro.machine import A100, iteration_cost
+from repro.machine import A100
 from repro.sparse import CSRMatrix, add, diags
+from repro.streams import SolveSession, StalenessConfig
 
 
 def build_heat_operator(side: int, dt: float, seed: int = 0) -> CSRMatrix:
@@ -42,51 +45,49 @@ def build_heat_operator(side: int, dt: float, seed: int = 0) -> CSRMatrix:
     return add(mass, k_matrix)
 
 
+def run_stream(session: SolveSession, a: CSRMatrix, u0: np.ndarray,
+               dt: float, n_steps: int) -> np.ndarray:
+    """March ``n_steps`` backward-Euler steps through *session*."""
+    u = u0
+    for step in range(1, n_steps + 1):
+        rec = session.step(a, u / dt, tag=f"t{step}")
+        assert rec.result.converged and rec.verified
+        u = rec.result.x
+    return u
+
+
 def main() -> None:
     side, dt, n_steps = 48, 0.05, 25
     a = build_heat_operator(side, dt)
     n = a.n_rows
     print(f"heat operator: n={n}, nnz={a.nnz}")
 
-    # One-time setup: Algorithm 2 + factorization, reused every step.
-    decision = wavefront_aware_sparsify(a)
-    print(f"Algorithm 2 chose t={decision.chosen_ratio:g}% "
-          f"(wavefronts {decision.w_original} → "
-          f"{sum(ILU0Preconditioner(decision.a_hat).apply_levels()) // 2})")
-    m_spcg = ILU0Preconditioner(decision.a_hat, raise_on_zero_pivot=False)
-    m_base = ILU0Preconditioner(a)
-
     # Initial condition: hot spot in the center.
-    u = np.zeros(n)
-    u[(side // 2) * side + side // 2] = 100.0
+    u0 = np.zeros(n)
+    u0[(side // 2) * side + side // 2] = 100.0
 
     crit = StoppingCriterion(rtol=1e-10, atol=0.0, max_iters=1000)
-    total_iters_spcg = 0
-    total_iters_base = 0
-    u_base = u.copy()
-    u_spcg = u.copy()
-    for step in range(n_steps):
-        rhs_b = u_base / dt
-        rhs_s = u_spcg / dt
-        rb = pcg(a, rhs_b, m_base, criterion=crit, x0=u_base)
-        rs = pcg(a, rhs_s, m_spcg, criterion=crit, x0=u_spcg)
-        assert rb.converged and rs.converged
-        u_base, u_spcg = rb.x, rs.x
-        total_iters_base += rb.n_iters
-        total_iters_spcg += rs.n_iters
+    warm = SolveSession(preconditioner="ilu0", criterion=crit,
+                        device=A100, warm_start=True, recycle=8)
+    cold = SolveSession(preconditioner="ilu0", criterion=crit,
+                        device=A100, warm_start=False, recycle=0,
+                        staleness=StalenessConfig(force="refactor"))
+    u_warm = run_stream(warm, a, u0, dt, n_steps)
+    u_cold = run_stream(cold, a, u0, dt, n_steps)
 
-    drift = np.abs(u_base - u_spcg).max() / np.abs(u_base).max()
-    t_base = iteration_cost(A100, a, m_base).total
-    t_spcg = iteration_cost(A100, a, m_spcg).total
-    print(f"\n{n_steps} implicit steps:")
-    print(f"  PCG  iterations: {total_iters_base}  "
-          f"(modeled A100 solve time {total_iters_base * t_base * 1e3:.2f} ms)")
-    print(f"  SPCG iterations: {total_iters_spcg}  "
-          f"(modeled A100 solve time {total_iters_spcg * t_spcg * 1e3:.2f} ms)")
+    drift = np.abs(u_cold - u_warm).max() / np.abs(u_cold).max()
+    print()
+    print(warm.report.amortization_table())
+    wr, cr = warm.report, cold.report
+    print(f"\n{n_steps} implicit steps on the {A100.name} model:")
+    print(f"  cold per-step solves: {cr.total_iterations} iterations, "
+          f"{cr.modeled_seconds * 1e3:.2f} ms modeled")
+    print(f"  session (warm+reuse+recycle): {wr.total_iterations} "
+          f"iterations, {wr.modeled_seconds * 1e3:.2f} ms modeled")
     print(f"  end-state relative drift between the two solutions: "
           f"{drift:.2e}")
-    speedup = (total_iters_base * t_base) / (total_iters_spcg * t_spcg)
-    print(f"  amortized solve-phase speedup: ×{speedup:.2f}")
+    print(f"  amortized end-to-end speedup: "
+          f"×{cr.modeled_seconds / wr.modeled_seconds:.2f}")
 
 
 if __name__ == "__main__":

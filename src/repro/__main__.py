@@ -356,6 +356,48 @@ def _cmd_spai(args) -> int:
     return 0 if res.has_crossover else 1
 
 
+def _cmd_stream(args) -> int:
+    import json
+
+    from .harness import run_stream_study
+    from .streams import DriftSchedule
+
+    drift = None
+    if args.drift is not None:
+        drift = DriftSchedule(seed=args.seed + 1, magnitude=args.drift,
+                              shock_every=max(2, args.steps // 2))
+    with _tracing(args.trace):
+        res = run_stream_study(side=args.side, dt=args.dt,
+                               n_steps=args.steps, seed=args.seed,
+                               preconditioner=args.precond,
+                               recycle=args.recycle, drift=drift,
+                               device=args.device)
+    print(res.summary())
+    ok = (res.all_verified
+          and res.speedup >= args.min_speedup
+          and res.warm_iterations < res.cold_iterations
+          and res.deflation_mismatch <= 1e-8
+          and res.deflation_iter_excess <= 0)
+    if args.json:
+        summary = {
+            "n": res.n, "nnz": res.nnz, "n_steps": res.n_steps,
+            "dt": res.dt, "device": res.device,
+            "speedup": res.speedup,
+            "warm_seconds": res.warm_seconds,
+            "cold_seconds": res.cold_seconds,
+            "warm_iterations": res.warm_iterations,
+            "cold_iterations": res.cold_iterations,
+            "all_verified": res.all_verified,
+            "deflation_mismatch": res.deflation_mismatch,
+            "deflation_iter_excess": res.deflation_iter_excess,
+            "ok": ok,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, indent=2)
+        print(f"summary -> {args.json}", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def _cmd_report(args) -> int:
     from .obs import render_report_file
 
@@ -594,6 +636,34 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--json", default="", metavar="OUT.JSON",
                    help="write the crossover map as JSON")
     p.set_defaults(func=_cmd_spai)
+
+    p = sub.add_parser("stream", help="amortized-stream macro-benchmark: "
+                                      "warm+reuse+recycling session vs "
+                                      "cold per-step solves")
+    p.add_argument("--side", type=int, default=20,
+                   help="plate side (n = side²)")
+    p.add_argument("--steps", type=int, default=24,
+                   help="stream length (backward-Euler steps)")
+    p.add_argument("--dt", type=float, default=20.0,
+                   help="implicit time step (coarse = stiff solves)")
+    p.add_argument("--precond", default="ilu0",
+                   choices=["jacobi", "ic0", "ilu0", "iluk", "spai",
+                            "fsai"])
+    p.add_argument("--recycle", type=int, default=8,
+                   help="Ritz vectors harvested per solve (0 = off)")
+    p.add_argument("--drift", type=float, default=None,
+                   help="steady drift magnitude (default: the study's "
+                        "1e-6 with a shock halfway)")
+    p.add_argument("--min-speedup", type=float, default=1.5,
+                   dest="min_speedup",
+                   help="required cold/warm modeled speedup")
+    p.add_argument("--device", default="a100")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", default="", metavar="OUT.JSON",
+                   help="write the study summary as JSON")
+    p.add_argument("--trace", default="", metavar="OUT.JSONL",
+                   help="record the structured event stream")
+    p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser("report", help="render the run ledger from a "
                                       "--trace JSON-lines file")

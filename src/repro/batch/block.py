@@ -29,8 +29,9 @@ A *slot hook* (:data:`SlotHook`) turns the static block into a rolling
 one: at every iteration boundary the hook may **admit** new right-hand
 sides into slots freed by retired columns and **cancel** running
 columns (deadline expiry, caller cancellation).  An admitted column
-starts its own iteration 0 at that boundary — zero initial guess, its
-own residual history, its own stopping threshold — so its trajectory is
+starts its own iteration 0 at that boundary — zero initial guess (or a
+caller-supplied warm start), its own residual history, its own stopping
+threshold — so its trajectory is
 the one a fresh sequential solve would take; resident columns are never
 recomputed or perturbed (their per-column scalars and reductions do not
 see the newcomer).  :mod:`repro.serve` builds its online scheduler on
@@ -72,7 +73,7 @@ from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
-from ..errors import AbortSolve, ShapeError
+from ..errors import AbortSolve, InvalidRequestError, ShapeError
 from ..obs.metrics import get_metrics
 from ..obs.trace import get_recorder
 from ..precond.base import Preconditioner
@@ -92,13 +93,16 @@ class SlotDecision:
     Attributes
     ----------
     admit:
-        ``(key, b)`` pairs — or ``(key, b, checkpoint)`` triples — to
+        ``(key, b)`` pairs — or ``(key, b, state)`` triples — to
         admit as new columns.  *key* is the caller's opaque handle (a
         request id); it comes back in ``extra["serve"]["keys"]``.  A
-        two-tuple (or ``checkpoint=None``) starts at the column's own
+        two-tuple (or ``state=None``) starts at the column's own
         iteration 0 with a zero initial guess; a
         :class:`CheckpointState` resumes the column bitwise from that
-        snapshot (the crash/corruption restart path).
+        snapshot (the crash/corruption restart path); a plain
+        ``(n,)`` ndarray is a **warm start** — the column begins its
+        own iteration 0 from that guess (residual ``b − A·x0``), the
+        amortized-stream join path.
     cancel:
         ``(key, reason)`` pairs; each matching **active** column is
         frozen at the boundary with that termination reason and the
@@ -409,6 +413,10 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
          else np.asarray(x0, dtype=dtype).copy())
     if x.shape != (n, nb):
         raise ShapeError(f"x0 must have shape ({n}, {nb})")
+    if x0 is not None and not np.isfinite(x).all():
+        raise InvalidRequestError(
+            "x0 contains non-finite entries; a NaN/Inf warm start would "
+            "silently poison every iterate")
 
     b_norms = _col_norms(b_block)
     thresholds = np.array([crit.threshold(bn) for bn in b_norms])
@@ -553,14 +561,17 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
         batching join point.  A ``(key, b)`` pair starts at its own
         iteration 0, mirroring the pre-loop setup exactly: residual =
         b, immediate convergence check, preconditioner application,
-        breakdown check, first search direction.  A ``(key, b,
-        checkpoint)`` triple resumes the column bitwise from its
+        breakdown check, first search direction.  A ``(key, b, x0)``
+        triple with an ndarray warm start begins iteration 0 from that
+        guess (residual ``b − A·x0``).  A ``(key, b, checkpoint)``
+        triple resumes the column bitwise from its
         :class:`CheckpointState` — ``born`` shifts back by the
         checkpoint's earned iterations so budgets, counts and history
         lengths span both attempts."""
         nonlocal x, conv, iters, born, died, last_norms, b_norms, thresholds
         cols: list[int] = []
         vecs: list[np.ndarray] = []
+        starts: list[np.ndarray | None] = []
         res_cols: list[int] = []
         res_states: list[CheckpointState] = []
         for item in admits:
@@ -581,17 +592,36 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
             iters = np.append(iters, 0)
             b_cols.append(b_new)
             x = np.concatenate([x, np.zeros((n, 1), dtype=dtype)], axis=1)
-            if restore is None:
+            if restore is None or isinstance(restore, np.ndarray):
+                x0v = None
+                r_new, rn0 = b_new, bn
+                if restore is not None:
+                    x0v = np.asarray(restore, dtype=dtype)
+                    if x0v.shape != (n,):
+                        raise ShapeError(
+                            f"admitted x0 must have shape ({n},), "
+                            f"got {x0v.shape}")
+                    if not np.isfinite(x0v).all():
+                        raise InvalidRequestError(
+                            "admitted x0 contains non-finite entries")
+                    if x0v.any():
+                        r_new = b_new - a.matvec(x0v)
+                        rn0 = float(np.linalg.norm(r_new))
+                    else:
+                        x0v = None
                 born = np.append(born, k - 1)
                 died = np.append(died, k - 1)
-                histories.append([bn])
-                last_norms = np.append(last_norms, bn)
-                if crit.is_met(bn, bn):
+                histories.append([rn0])
+                last_norms = np.append(last_norms, rn0)
+                if crit.is_met(rn0, bn):
+                    if x0v is not None:
+                        x[:, j] = x0v
                     reasons[j] = TerminationReason.CONVERGED
                     conv[j] = True
                     continue
                 cols.append(j)
-                vecs.append(b_new)
+                vecs.append(r_new)
+                starts.append(x0v)
                 continue
             rn0 = float(restore.history[-1])
             born = np.append(born, (k - 1) - restore.iters)
@@ -626,7 +656,10 @@ def pcg_block(a: CSRMatrix, b_block: np.ndarray,
                 new_cols = np.asarray(cols, dtype=idx.dtype)[g]
                 idx = np.concatenate([idx, new_cols])
                 xa = np.concatenate(
-                    [xa, np.zeros((n, g.size), dtype=dtype)], axis=1)
+                    [xa, np.stack(
+                        [starts[t] if starts[t] is not None
+                         else np.zeros(n, dtype=dtype) for t in good],
+                        axis=1)], axis=1)
                 ra = np.concatenate([ra, rn[:, g]], axis=1)
                 pa = np.concatenate(
                     [pa, zn[:, g].astype(dtype, copy=True)], axis=1)

@@ -42,7 +42,7 @@ from ..machine.timeline import Timeline
 from ..obs.metrics import get_metrics
 from ..perf.cache import ArtifactCache
 from ..perf.fingerprint import matrix_fingerprint
-from ..serve.request import validate_rhs
+from ..serve.request import validate_rhs, validate_x0
 from ..solvers.result import SolveResult
 from ..solvers.stopping import StoppingCriterion
 from ..sparse.csr import CSRMatrix
@@ -56,12 +56,15 @@ class SolveRequest:
     """One pending ``A x = b`` request.
 
     ``tag`` is an opaque caller label (request id, load-case name) that
-    rides along into the per-request result mapping.
+    rides along into the per-request result mapping.  ``x0`` is an
+    optional warm-start guess carried into the block dispatch
+    (sessions pass the previous step's solution here).
     """
 
     a: CSRMatrix
     b: np.ndarray
     tag: str = ""
+    x0: np.ndarray | None = None
 
 
 @dataclass
@@ -161,17 +164,21 @@ class SolverService:
         return len(self._pending)
 
     # ------------------------------------------------------------------
-    def submit(self, a: CSRMatrix, b: np.ndarray, *, tag: str = "") -> int:
+    def submit(self, a: CSRMatrix, b: np.ndarray, *, tag: str = "",
+               x0: np.ndarray | None = None) -> int:
         """Queue one request; returns its submission index.
 
         Validation happens here (not at flush) so a malformed request
         fails at the call site that produced it:
         :class:`~repro.errors.ShapeError` for a bad shape,
         :class:`~repro.errors.InvalidRequestError` (naming *tag*) for a
-        non-numeric dtype or NaN/Inf entries.
+        non-numeric dtype or NaN/Inf entries — the same contract for
+        the optional warm start ``x0`` (shape ``(n,)``; scattered into
+        the group's block dispatch, zero columns for cold requests).
         """
         b = validate_rhs(a, b, tag=tag)
-        self._pending.append(SolveRequest(a=a, b=b, tag=tag))
+        x0 = validate_x0(a, x0, tag=tag)
+        self._pending.append(SolveRequest(a=a, b=b, tag=tag, x0=x0))
         self._fingerprints.append(matrix_fingerprint(a))
         return len(self._pending) - 1
 
@@ -183,7 +190,7 @@ class SolverService:
         """
         for req in requests:
             if isinstance(req, SolveRequest):
-                self.submit(req.a, req.b, tag=req.tag)
+                self.submit(req.a, req.b, tag=req.tag, x0=req.x0)
             else:
                 self.submit(*req[:2], tag=req[2] if len(req) > 2 else "")
         return self.flush()
@@ -215,7 +222,8 @@ class SolverService:
             preconditioner=self.kind, k=self.k, criterion=self.criterion,
             device=self.device, cache=self.cache,
             window=BatchingWindow.degenerate())
-        ids = [sched.submit(req.a, req.b, tag=req.tag) for req in pending]
+        ids = [sched.submit(req.a, req.b, tag=req.tag, x0=req.x0)
+               for req in pending]
         sched.run()
 
         results: list[SolveResult] = []

@@ -13,7 +13,10 @@ the statistics every table and figure of the paper reports.
 * :mod:`~repro.harness.batch_bench` — multi-RHS batch-scaling study
   (per-RHS modeled cost vs batch size through the solver service);
 * :mod:`~repro.harness.precision_study` — float32-factor vs float64
-  comparison (iteration delta and modeled value-traffic ratio).
+  comparison (iteration delta and modeled value-traffic ratio);
+* :mod:`~repro.harness.stream_study` — amortized-stream macro-benchmark
+  (warm + reuse + recycling session vs cold per-step solves, HPCG-style
+  verified end-to-end seconds).
 """
 
 from .batch_bench import BatchPoint, BatchScalingResult, run_batch_scaling
@@ -21,6 +24,8 @@ from .precision_study import (PrecisionPoint, PrecisionStudyResult,
                               run_precision_study)
 from .spai_study import (CrossoverPoint, SpaiCrossoverResult,
                          run_spai_crossover)
+from .stream_study import (StreamStudyResult, build_heat_stream_operator,
+                           run_stream_study)
 from .experiment import (
     ExperimentResult,
     MethodMetrics,
@@ -48,6 +53,9 @@ __all__ = [
     "CrossoverPoint",
     "SpaiCrossoverResult",
     "run_spai_crossover",
+    "StreamStudyResult",
+    "build_heat_stream_operator",
+    "run_stream_study",
     "MethodMetrics",
     "ExperimentResult",
     "run_experiment",

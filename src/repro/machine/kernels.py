@@ -40,6 +40,9 @@ __all__ = [
     "time_checkpoint",
     "time_abft_check",
     "time_residual_check",
+    "time_staleness_check",
+    "time_deflation_setup",
+    "time_deflation_apply",
 ]
 
 
@@ -688,3 +691,60 @@ def time_residual_check(dev: DeviceModel, a: CSRMatrix,
     return (time_spmv_batched(dev, a.n_rows, a.nnz, batch)
             + time_axpy_batched(dev, a.n_rows, batch)
             + time_dot_batched(dev, a.n_rows, batch))
+
+
+def time_staleness_check(dev: DeviceModel, nnz: int) -> float:
+    """Relative-drift probe of the stream layer's staleness detector:
+    ``‖data_new − data_ref‖ / ‖data_ref‖`` over the shared CSR value
+    arrays — one fused elementwise-difference + norm reduction pass
+    (3 FLOPs/nnz, both arrays streamed once, launch + sync paid once).
+    This is the price a :class:`repro.streams.SolveSession` pays at
+    *every* drifted step, so "check then reuse" is never modeled as
+    free — the decision only wins when the saved setup work exceeds
+    the probe."""
+    flops = 3.0 * nnz
+    bytes_ = 2.0 * nnz * dev.value_bytes
+    util = min(1.0, nnz / dev.parallel_lanes)
+    return (dev.launch_overhead + dev.sync_overhead
+            + _roofline(dev, flops, bytes_, util))
+
+
+def time_deflation_setup(dev: DeviceModel, a: CSRMatrix,
+                         basis_size: int) -> float:
+    """Per-solve setup of a Krylov deflation basis ``W`` (n × m):
+    ``AW = A·W`` as one batched SpMV over the m columns, the Gram
+    matrix ``G = Wᵀ(AW)`` as a tall-skinny GEMM (2·n·m² FLOPs, one
+    reduction sync), its tiny m × m Cholesky (negligible, folded into
+    the launch), and the initial Galerkin correction
+    ``x += W G⁻¹ Wᵀ r`` (one projection apply plus an AXPY).  Paid once
+    per deflated solve — ``A`` drifts between steps, so ``AW`` cannot
+    be cached across them."""
+    m = _check_batch(basis_size)
+    n = a.n_rows
+    t = time_spmv_batched(dev, n, a.nnz, m)
+    flops = 2.0 * n * m * m
+    bytes_ = 2.0 * n * m * dev.value_bytes
+    util = min(1.0, n * m / dev.parallel_lanes)
+    t += (dev.launch_overhead + dev.sync_overhead
+          + _roofline(dev, flops, bytes_, util))
+    t += time_deflation_apply(dev, n, m) + time_axpy(dev, n)
+    return t
+
+
+def time_deflation_apply(dev: DeviceModel, n: int, basis_size: int,
+                         batch: int = 1) -> float:
+    """One A-orthogonal projection ``z ↦ z − W G⁻¹ (AW)ᵀ z`` against an
+    n × m deflation basis: a tall-skinny reduction GEMV ``(AW)ᵀ z``
+    (one sync), the m × m triangular back-substitutions (negligible at
+    recycling sizes), and the broadcast GEMV ``W·q`` — two launches,
+    4·n·m FLOPs per column, the basis streamed once per block.  This is
+    the per-iteration overhead deflated PCG adds on top of
+    :func:`iteration_cost`, so recycling is priced as a genuine
+    trade-off, not a free win."""
+    m = _check_batch(basis_size)
+    batch = _check_batch(batch)
+    flops = 4.0 * n * m * batch
+    bytes_ = (2.0 * n * m + 3.0 * n * batch) * dev.value_bytes
+    util = min(1.0, n * batch / dev.parallel_lanes)
+    return (2.0 * dev.launch_overhead + dev.sync_overhead
+            + _roofline(dev, flops, bytes_, util))

@@ -52,6 +52,15 @@ Event kinds
     The overload policy entered/left brownout (``action`` is
     ``"enter"`` / ``"exit"``) — tolerance loosened / preconditioner
     downgraded while the modeled backlog exceeds its threshold.
+``route`` / ``shard_solve``
+    Fleet-layer routing decisions and one row-sharded solve with its
+    modeled communication seconds.
+``session_start`` / ``session_step`` / ``staleness``
+    Amortized solve streams (:class:`repro.streams.SolveSession`): a
+    session opened; one step solved (action taken, iterations, modeled
+    seconds, true-residual verification); one staleness decision with
+    its drift measurement and the modeled cost of every candidate
+    action (``reuse`` / ``refresh`` / ``refactor``).
 
 Zero-cost-when-off invariant
 ----------------------------
@@ -91,6 +100,7 @@ EVENT_KINDS = (
     "fault_injected", "checksum_fail", "checkpoint", "restart",
     "retry", "breaker_open", "breaker_close", "brownout",
     "route", "shard_solve",
+    "session_start", "session_step", "staleness",
 )
 
 

@@ -27,7 +27,8 @@ from ..errors import InvalidRequestError, ShapeError
 from ..solvers.result import SolveResult
 from ..sparse.csr import CSRMatrix
 
-__all__ = ["validate_rhs", "RequestStatus", "ServeRequest", "ServeOutcome"]
+__all__ = ["validate_rhs", "validate_x0", "RequestStatus", "ServeRequest",
+           "ServeOutcome"]
 
 
 def validate_rhs(a: CSRMatrix, b: np.ndarray, *, tag: str = "") -> np.ndarray:
@@ -56,6 +57,37 @@ def validate_rhs(a: CSRMatrix, b: np.ndarray, *, tag: str = "") -> np.ndarray:
             f"request{label}: b contains {n_bad} non-finite "
             f"entr{'y' if n_bad == 1 else 'ies'} (NaN/Inf)")
     return np.ascontiguousarray(b)
+
+
+def validate_x0(a: CSRMatrix, x0: np.ndarray | None, *,
+                tag: str = "") -> np.ndarray | None:
+    """Validate an optional warm-start guess at submission time.
+
+    Same contract as :func:`validate_rhs` — shape ``(n,)`` or
+    :class:`~repro.errors.ShapeError`, numeric real finite entries or
+    :class:`~repro.errors.InvalidRequestError` naming *tag* — so a
+    poisoned warm start fails at the call site, not mid-dispatch.
+    ``None`` (cold start) passes through.
+    """
+    if x0 is None:
+        return None
+    x0 = np.asarray(x0)
+    if x0.ndim != 1 or x0.shape[0] != a.n_rows:
+        raise ShapeError(
+            f"x0 must have shape ({a.n_rows},), got {x0.shape}")
+    label = f" (tag {tag!r})" if tag else ""
+    if not np.issubdtype(x0.dtype, np.number):
+        raise InvalidRequestError(
+            f"request{label}: x0 has non-numeric dtype {x0.dtype}")
+    if np.issubdtype(x0.dtype, np.complexfloating):
+        raise InvalidRequestError(
+            f"request{label}: complex warm starts are not supported")
+    if not np.isfinite(x0).all():
+        n_bad = int(np.count_nonzero(~np.isfinite(x0)))
+        raise InvalidRequestError(
+            f"request{label}: x0 contains {n_bad} non-finite "
+            f"entr{'y' if n_bad == 1 else 'ies'} (NaN/Inf)")
+    return np.ascontiguousarray(x0)
 
 
 class RequestStatus(enum.Enum):
@@ -102,6 +134,10 @@ class ServeRequest:
     #: re-enqueues a corrupted/crashed request; ``None`` solves from
     #: scratch.
     restore: object | None = None
+    #: Optional warm-start guess, shape ``(n,)`` (validated by
+    #: :func:`validate_x0`); ``None`` starts from zero.  Sessions use
+    #: this to carry the previous step's solution into the next solve.
+    x0: np.ndarray | None = None
 
     def sort_key(self) -> tuple:
         return (self.priority, self.arrival_s, self.req_id)

@@ -55,7 +55,8 @@ from ..batch.block import SlotDecision, VerifyConfig, pcg_block
 from .healing import (BreakerPolicy, BrownoutPolicy, CircuitBreaker,
                       RetryPolicy, precond_ladder)
 from .queue import AdmissionPolicy, RequestQueue
-from .request import RequestStatus, ServeOutcome, ServeRequest, validate_rhs
+from .request import (RequestStatus, ServeOutcome, ServeRequest,
+                      validate_rhs, validate_x0)
 
 __all__ = ["BatchingWindow", "DispatchRecord", "ServeReport",
            "ServeScheduler", "percentile"]
@@ -472,7 +473,8 @@ class ServeScheduler:
     # -- submission ----------------------------------------------------
     def submit(self, a: CSRMatrix, b: np.ndarray, *, tag: str = "",
                priority: int = 0, deadline_s: float | None = None,
-               arrival_s: float | None = None) -> int:
+               arrival_s: float | None = None,
+               x0: np.ndarray | None = None) -> int:
         """Submit one request; returns its request id.
 
         Raises :class:`~repro.errors.ShapeError` /
@@ -481,6 +483,7 @@ class ServeScheduler:
         immediate submission is shed by admission control.
         """
         b = validate_rhs(a, b, tag=tag)
+        x0 = validate_x0(a, x0, tag=tag)
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError("deadline_s must be positive")
         req_id = self._next_id
@@ -489,7 +492,8 @@ class ServeScheduler:
         req = ServeRequest(req_id=req_id, a=a, b=b,
                            fingerprint=matrix_fingerprint(a), tag=tag,
                            priority=int(priority), deadline_s=deadline_s,
-                           arrival_s=t_arr, arrival_wall=self._wall())
+                           arrival_s=t_arr, arrival_wall=self._wall(),
+                           x0=x0)
         self._requests[req_id] = req
         if arrival_s is None:
             self._enqueue_or_shed(req, raise_on_shed=True)
@@ -935,7 +939,8 @@ class ServeScheduler:
                             and n_alive + len(admits) >= capacity:
                         break
                     self.queue.remove(req.req_id)
-                    admits.append((req.req_id, req.b))
+                    admits.append((req.req_id, req.b) if req.x0 is None
+                                  else (req.req_id, req.b, req.x0))
                     self._status[req.req_id] = RequestStatus.RUNNING
                     self._dispatch_clock[req.req_id] = self._clock
                     n_admitted += 1
@@ -955,7 +960,13 @@ class ServeScheduler:
             for item in admits:
                 bn = float(np.linalg.norm(item[1]))
                 state = item[2] if len(item) > 2 else None
-                rn = float(state.history[-1]) if state is not None else bn
+                if isinstance(state, np.ndarray):
+                    # Warm-start admit: entering residual is b − A·x0.
+                    rn = float(np.linalg.norm(item[1] - a.matvec(state)))
+                elif state is not None:
+                    rn = float(state.history[-1])
+                else:
+                    rn = bn
                 if not crit.is_met(rn, bn):
                     width += 1
             prev_width = width
@@ -966,7 +977,12 @@ class ServeScheduler:
         wall0 = self._wall()
         b0 = (np.column_stack([r.b for r in fresh]) if fresh
               else np.zeros((a.n_rows, 0)))
-        block = pcg_block(a_run, b0, m_run, criterion=crit,
+        x0b = None
+        if any(r.x0 is not None for r in fresh):
+            x0b = np.column_stack(
+                [r.x0 if r.x0 is not None else np.zeros(a.n_rows)
+                 for r in fresh])
+        block = pcg_block(a_run, b0, m_run, x0=x0b, criterion=crit,
                           slot_hook=hook, keys=[r.req_id for r in fresh],
                           verify=verify_cfg)
         wall_block = self._wall() - wall0

@@ -23,7 +23,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..errors import AbortSolve, ShapeError
+from ..errors import AbortSolve, InvalidRequestError, ShapeError
 from ..obs.metrics import get_metrics
 from ..obs.trace import TraceRecorder, get_recorder
 from ..precond.base import Preconditioner
@@ -100,6 +100,10 @@ def pcg(a: CSRMatrix, b: np.ndarray, preconditioner: Preconditioner | None
          else np.asarray(x0, dtype=dtype).copy())
     if x.shape != (n,):
         raise ShapeError(f"x0 must have shape ({n},)")
+    if x0 is not None and not np.isfinite(x).all():
+        raise InvalidRequestError(
+            "x0 contains non-finite entries; a NaN/Inf warm start would "
+            "silently poison every iterate")
 
     b_norm = float(np.linalg.norm(b))
     threshold = crit.threshold(b_norm)

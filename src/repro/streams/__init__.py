@@ -1,0 +1,36 @@
+"""Amortized solve streams: sessions, warm starts, factor reuse with a
+staleness detector, and Krylov recycling.
+
+The paper prices a *single* sparsified-PCG solve; production workloads
+are *sequences* of related solves (time stepping, Newton iterations,
+parameter sweeps).  This package amortizes setup across such a stream:
+
+* :class:`SolveSession` — owns the stream; carries warm starts, keeps
+  the factor under a modeled-seconds-optimal staleness policy
+  (:func:`decide_staleness`), recycles a Ritz deflation basis, and
+  re-verifies every step's true residual.
+* :func:`recycling_pcg` / :class:`RecycleBasis` — deflated PCG with
+  Lanczos-coefficient Ritz harvesting (plain ``pcg`` bitwise when the
+  basis is empty).
+* :func:`perturb_spd` / :class:`DriftSchedule` — SPD-preserving,
+  structure-fixed seeded value drift for stream workloads.
+"""
+
+from .drift import DriftSchedule, perturb_spd
+from .recycle import RecycleBasis, harvest_ritz, recycling_pcg
+from .session import (SessionReport, SolveSession, StalenessConfig,
+                      StalenessDecision, StepRecord, decide_staleness)
+
+__all__ = [
+    "DriftSchedule",
+    "perturb_spd",
+    "RecycleBasis",
+    "harvest_ritz",
+    "recycling_pcg",
+    "SessionReport",
+    "SolveSession",
+    "StalenessConfig",
+    "StalenessDecision",
+    "StepRecord",
+    "decide_staleness",
+]

@@ -124,6 +124,35 @@ class TestServeCommand:
         assert "continuous=False" in out
 
 
+class TestStreamCommand:
+    def test_stream_prints_ledger_and_headline(self, capsys):
+        rc = main(["stream", "--side", "10", "--steps", "10",
+                   "--min-speedup", "1.0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "amortization ledger" in out
+        assert "end-to-end speedup" in out
+        assert "recycling contract" in out
+
+    def test_stream_json_summary(self, tmp_path, capsys):
+        import json
+
+        summary = tmp_path / "stream.json"
+        rc = main(["stream", "--side", "10", "--steps", "10",
+                   "--min-speedup", "1.0", "--json", str(summary)])
+        assert rc == 0
+        data = json.loads(summary.read_text())
+        assert data["ok"] is True
+        assert data["all_verified"] is True
+        assert data["warm_iterations"] < data["cold_iterations"]
+        assert data["speedup"] > 1.0
+
+    def test_stream_unreachable_speedup_fails(self, capsys):
+        rc = main(["stream", "--side", "10", "--steps", "6",
+                   "--min-speedup", "1e9"])
+        assert rc == 1
+
+
 class TestFleetCommand:
     def test_fleet_prints_capacity_tables(self, capsys):
         rc = main(["fleet", "--devices", "1", "2", "--requests", "10",
